@@ -1,0 +1,62 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "util/units.hpp"
+
+namespace apim::bench {
+
+void ShapeChecker::check(const std::string& name, bool ok) {
+  entries_.push_back(Entry{name, ok});
+}
+
+void ShapeChecker::check_range(const std::string& name, double value,
+                               double lo, double hi) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%s (%.3g in [%.3g, %.3g])", name.c_str(),
+                value, lo, hi);
+  check(buf, value >= lo && value <= hi);
+}
+
+int ShapeChecker::finish() const {
+  std::puts("\nShape checks:");
+  bool all_ok = true;
+  for (const Entry& e : entries_) {
+    std::printf("  [%s] %s\n", e.ok ? "PASS" : "FAIL", e.name.c_str());
+    all_ok &= e.ok;
+  }
+  std::printf("%s\n", all_ok ? "ALL SHAPE CHECKS PASSED"
+                             : "SHAPE CHECK FAILURES PRESENT");
+  return all_ok ? 0 : 1;
+}
+
+double AppSample::seconds_per_element(std::size_t lanes) const {
+  return cycles_per_element * util::kMagicCycleNs * 1e-9 /
+         static_cast<double>(lanes);
+}
+
+double AppSample::edp_per_element_js(std::size_t lanes) const {
+  return energy_pj_per_element * 1e-12 * seconds_per_element(lanes);
+}
+
+AppSample sample_app(const apps::Application& app, unsigned relax_bits) {
+  core::ApimConfig cfg;
+  cfg.approx.relax_bits = relax_bits;
+  core::ApimDevice device{cfg};
+  const auto golden = app.run_golden();
+  const auto output = app.run_apim(device);
+  const auto eval = quality::evaluate_qos(app.qos(), golden, output);
+
+  AppSample sample;
+  sample.elements = app.element_count();
+  const auto elements = static_cast<double>(sample.elements);
+  sample.cycles_per_element =
+      static_cast<double>(device.stats().cycles) / elements;
+  sample.energy_pj_per_element = device.energy_pj() / elements;
+  sample.loss = eval.loss;
+  sample.metric = eval.metric;
+  sample.acceptable = eval.acceptable;
+  return sample;
+}
+
+}  // namespace apim::bench

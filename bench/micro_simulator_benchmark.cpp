@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks of the simulator itself: host-side
+// throughput of the fast functional models and the bit-level engine.
+//
+// These are not paper results; they document the cost of simulation (how
+// many modeled multiplies per second the two levels deliver) so users can
+// size their experiments.
+#include <benchmark/benchmark.h>
+
+#include "arith/fast_units.hpp"
+#include "arith/inmemory_units.hpp"
+#include "arith/word_models.hpp"
+#include "core/apim.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace apim;
+
+const device::EnergyModel& em() {
+  return device::EnergyModel::paper_defaults();
+}
+
+void BM_FastMultiplyExact(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::uint64_t a = rng.next() & util::low_mask(n);
+    const std::uint64_t b = rng.next() & util::low_mask(n);
+    benchmark::DoNotOptimize(
+        arith::fast_multiply(a, b, n, arith::ApproxConfig::exact(), em()));
+  }
+}
+BENCHMARK(BM_FastMultiplyExact)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FastMultiplyRelaxed(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const std::uint64_t a = rng.next() & util::low_mask(32);
+    const std::uint64_t b = rng.next() & util::low_mask(32);
+    benchmark::DoNotOptimize(arith::fast_multiply(
+        a, b, 32, arith::ApproxConfig::last_stage(32), em()));
+  }
+}
+BENCHMARK(BM_FastMultiplyRelaxed);
+
+void BM_EngineMultiplyExact(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const std::uint64_t a = rng.next() & util::low_mask(n);
+    const std::uint64_t b = rng.next() & util::low_mask(n);
+    benchmark::DoNotOptimize(
+        arith::inmemory_multiply(a, b, n, arith::ApproxConfig::exact(), em()));
+  }
+}
+BENCHMARK(BM_EngineMultiplyExact)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WordSerialAdd(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arith::word_serial_add(rng.next() & util::low_mask(32),
+                               rng.next() & util::low_mask(32), 32, em()));
+  }
+}
+BENCHMARK(BM_WordSerialAdd);
+
+void BM_DeviceMac(benchmark::State& state) {
+  core::ApimDevice dev;
+  util::Xoshiro256 rng(5);
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    acc = dev.mac_int(acc & 0xFFFF,
+                      static_cast<std::int64_t>(rng.next_below(1u << 16)),
+                      static_cast<std::int64_t>(rng.next_below(1u << 16)));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_DeviceMac);
+
+}  // namespace
+
+BENCHMARK_MAIN();

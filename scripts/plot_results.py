@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench binaries emit.
+
+Every bench writes a CSV next to your working directory (fig4_*.csv,
+fig5_*.csv, ...). This script turns them into PNG plots mirroring the
+paper's figures. matplotlib is optional at runtime: without it the script
+renders coarse ASCII plots instead, so the repository stays dependency-free.
+
+Usage:
+    for b in build/bench/*; do $b; done   # produce the CSVs
+    python3 scripts/plot_results.py [--out plots/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import math
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def ascii_plot(title, series, logy=False, width=72, height=18):
+    """series: {label: [(x, y), ...]} — x used for ordering only."""
+    print(f"\n== {title} ==")
+    ys = [y for pts in series.values() for (_, y) in pts if y > 0 or not logy]
+    if not ys:
+        print("(no data)")
+        return
+    transform = (lambda v: math.log10(v)) if logy else (lambda v: v)
+    lo = min(transform(y) for y in ys)
+    hi = max(transform(y) for y in ys)
+    span = (hi - lo) or 1.0
+    for label, pts in series.items():
+        print(f"-- {label}")
+        for x, y in pts:
+            bar = int((transform(y) - lo) / span * width) if y else 0
+            print(f"  {str(x):>10} | {'#' * bar} {y:g}")
+
+
+def plot_fig5(path, out_dir, plt):
+    header, rows = read_csv(path)
+    by_app = defaultdict(list)
+    for app, dataset, energy, speedup in rows:
+        by_app[app].append((float(dataset), float(energy), float(speedup)))
+    if plt is None:
+        ascii_plot("Fig 5 speedup vs dataset",
+                   {app: [(f"{d/2**20:.0f}MB", s) for d, _, s in pts]
+                    for app, pts in by_app.items()})
+        return
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4))
+    for app, pts in by_app.items():
+        pts.sort()
+        axes[0].plot([d / 2**20 for d, _, _ in pts],
+                     [e for _, e, _ in pts], marker="o", label=app)
+        axes[1].plot([d / 2**20 for d, _, _ in pts],
+                     [s for _, _, s in pts], marker="o", label=app)
+    for ax, ylabel in zip(axes, ["energy improvement (x)", "speedup (x)"]):
+        ax.set_xscale("log", base=2)
+        ax.set_xlabel("dataset (MB)")
+        ax.set_ylabel(ylabel)
+        ax.axhline(1.0, color="gray", lw=0.5)
+        ax.legend()
+    fig.suptitle("Figure 5: exact APIM vs GPU over dataset size")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig5.png"), dpi=150)
+    print("wrote fig5.png")
+
+
+def plot_fig4(path, out_dir, plt):
+    header, rows = read_csv(path)
+    by_series = defaultdict(list)
+    for series, config, err, edp in rows:
+        by_series[series].append((float(edp), max(float(err), 1e-22)))
+    if plt is None:
+        ascii_plot("Fig 4 error (log) vs config",
+                   {s: [(f"{e:.2e}", y) for e, y in pts]
+                    for s, pts in by_series.items()}, logy=True)
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for series, pts in by_series.items():
+        pts.sort()
+        ax.plot([e for e, _ in pts], [y for _, y in pts], marker="o",
+                label={"first": "first-stage (mask)",
+                       "last": "last-stage (relax)"}.get(series, series))
+    ax.set_yscale("log")
+    ax.set_xlabel("EDP (J*s)")
+    ax.set_ylabel("mean error (%)")
+    ax.legend()
+    fig.suptitle("Figure 4: error vs EDP of the two approximation modes")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig4.png"), dpi=150)
+    print("wrote fig4.png")
+
+
+def plot_fig6(path, out_dir, plt):
+    header, rows = read_csv(path)
+    ns = [int(r[0]) for r in rows]
+    series = {
+        "APIM exact": [int(r[1]) for r in rows],
+        "APIM approx": [int(r[2]) for r in rows],
+        "Talati [24]": [int(r[3]) for r in rows],
+        "PC-Adder [25]": [int(r[4]) for r in rows],
+    }
+    if plt is None:
+        ascii_plot("Fig 6 adder cycles (log)",
+                   {k: list(zip(ns, v)) for k, v in series.items()},
+                   logy=True)
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for label, values in series.items():
+        ax.plot(ns, values, marker="o", label=label)
+    ax.set_yscale("log")
+    ax.set_xlabel("N (operands of N bits)")
+    ax.set_ylabel("cycles")
+    ax.legend()
+    fig.suptitle("Figure 6: multi-operand addition vs prior work")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig6.png"), dpi=150)
+    print("wrote fig6.png")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="plots", help="output directory")
+    parser.add_argument("--dir", default=".", help="where the CSVs live")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not available: falling back to ASCII plots",
+              file=sys.stderr)
+
+    if plt is not None:
+        os.makedirs(args.out, exist_ok=True)
+
+    plotters = {
+        "fig4_approx_tradeoff.csv": plot_fig4,
+        "fig5_dataset_sweep.csv": plot_fig5,
+        "fig6_adder_compare.csv": plot_fig6,
+    }
+    found = False
+    for name, plotter in plotters.items():
+        path = os.path.join(args.dir, name)
+        if os.path.exists(path):
+            plotter(path, args.out, plt)
+            found = True
+    if not found:
+        print("no bench CSVs found — run `for b in build/bench/*; do $b; "
+              "done` first", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

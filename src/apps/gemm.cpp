@@ -1,0 +1,71 @@
+#include "apps/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace apim::apps {
+
+namespace {
+
+constexpr util::FixedPointFormat kQ16f{16, 16};
+
+std::int64_t golden_qmul16(std::int64_t a, std::int64_t b) {
+  const bool negative = (a < 0) != (b < 0);
+  const std::uint64_t mag = (static_cast<std::uint64_t>(std::llabs(a)) *
+                             static_cast<std::uint64_t>(std::llabs(b))) >>
+                            16;
+  const auto m = static_cast<std::int64_t>(mag);
+  return negative ? -m : m;
+}
+
+}  // namespace
+
+void GemmApp::generate(std::size_t elements, std::uint64_t seed) {
+  side_ = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::llround(
+             std::sqrt(static_cast<double>(elements)))));
+  util::Xoshiro256 rng(seed);
+  const auto random_entry = [&] {
+    return static_cast<std::int64_t>(
+        std::llround(rng.next_double_in(-0.9, 0.9) * (kScale - 1)));
+  };
+  a_.assign(side_ * side_, 0);
+  b_.assign(side_ * side_, 0);
+  for (auto& v : a_) v = random_entry();
+  for (auto& v : b_) v = random_entry();
+}
+
+std::vector<double> GemmApp::run_golden() const {
+  std::vector<double> out;
+  out.reserve(side_ * side_);
+  for (std::size_t i = 0; i < side_; ++i) {
+    for (std::size_t j = 0; j < side_; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < side_; ++k)
+        acc += golden_qmul16(a_[i * side_ + k], b_[k * side_ + j]);
+      out.push_back(static_cast<double>(acc) / kScale);
+    }
+  }
+  return out;
+}
+
+std::vector<double> GemmApp::run_apim(core::ApimDevice& device) const {
+  std::vector<double> out;
+  out.reserve(side_ * side_);
+  for (std::size_t i = 0; i < side_; ++i) {
+    for (std::size_t j = 0; j < side_; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < side_; ++k) {
+        const std::int64_t prod =
+            device.mul(a_[i * side_ + k], b_[k * side_ + j], kQ16f);
+        acc = device.add(acc, prod);
+      }
+      out.push_back(static_cast<double>(acc) / kScale);
+    }
+  }
+  return out;
+}
+
+}  // namespace apim::apps

@@ -1,0 +1,44 @@
+// GEMM extension application: dense matrix multiply, the kernel behind the
+// paper's machine-learning motivation (classification / neural networks on
+// IoT data). Not part of the paper's six evaluated applications — it lives
+// in the extension registry (make_extension_applications) and its own
+// analyses — but it exercises the deepest accumulation chains of any
+// workload here (k-long dot products per output element).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace apim::apps {
+
+class GemmApp final : public Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "GEMM"; }
+  [[nodiscard]] quality::QosSpec qos() const override {
+    return quality::QosSpec::numeric();
+  }
+  /// `elements` is interpreted as the total output count; matrices are
+  /// square with side ~ cbrt-scaled so work stays tractable.
+  void generate(std::size_t elements, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t element_count() const override {
+    return side_ * side_;
+  }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    // 2*side ops per output element; GEMM tiles well, moderate traffic.
+    return {2.0 * static_cast<double>(side_), 48.0};
+  }
+
+  static constexpr std::int64_t kScale = 65536;  // Q16 entries in [-1, 1).
+
+ private:
+  std::size_t side_ = 0;
+  std::vector<std::int64_t> a_;  // Row-major side x side, Q16.
+  std::vector<std::int64_t> b_;
+};
+
+}  // namespace apim::apps

@@ -1,0 +1,72 @@
+// The three image-processing applications: Sobel, Robert and Sharpen.
+//
+// Inputs are deterministic synthetic grayscale images (Caltech-101
+// substitution, see util/image.hpp). Pixels are 8-bit integers processed
+// in 32-bit integer arithmetic, as the OpenCL originals do; gradient
+// magnitudes use the squared-energy formulation (the paper notes that
+// square roots were approximated with additions and multiplications in the
+// OpenCL code — squaring keeps the same multiply-heavy structure without a
+// divider).
+#pragma once
+
+#include "apps/app.hpp"
+#include "util/image.hpp"
+
+namespace apim::apps {
+
+/// Common scaffolding for the 2D kernels.
+class ImageApplication : public Application {
+ public:
+  void generate(std::size_t elements, std::uint64_t seed) final;
+  [[nodiscard]] std::size_t element_count() const final {
+    return input_.pixel_count();
+  }
+  [[nodiscard]] quality::QosSpec qos() const final {
+    return quality::QosSpec::image();
+  }
+
+ protected:
+  [[nodiscard]] const util::Image& input() const noexcept { return input_; }
+
+ private:
+  util::Image input_;
+};
+
+/// Sobel edge detector: 3x3 Gx/Gy convolutions, squared gradient energy,
+/// fixed-point normalization to 8 bits.
+class SobelApp final : public ImageApplication {
+ public:
+  [[nodiscard]] std::string name() const override { return "Sobel"; }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    return {18.0, 120.0};
+  }
+};
+
+/// Roberts cross: 2x2 diagonal differences, squared energy.
+class RobertApp final : public ImageApplication {
+ public:
+  [[nodiscard]] std::string name() const override { return "Robert"; }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    return {8.0, 60.0};
+  }
+};
+
+/// Unsharp-style 3x3 sharpening filter with clamping.
+class SharpenApp final : public ImageApplication {
+ public:
+  [[nodiscard]] std::string name() const override { return "Sharpen"; }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    return {7.0, 100.0};
+  }
+};
+
+}  // namespace apim::apps

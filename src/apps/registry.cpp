@@ -1,0 +1,36 @@
+#include "apps/app.hpp"
+#include "apps/gemm.hpp"
+#include "apps/image_kernels.hpp"
+#include "apps/signal_kernels.hpp"
+
+namespace apim::apps {
+
+std::vector<std::unique_ptr<Application>> make_all_applications() {
+  std::vector<std::unique_ptr<Application>> apps;
+  apps.push_back(std::make_unique<SobelApp>());
+  apps.push_back(std::make_unique<RobertApp>());
+  apps.push_back(std::make_unique<FftApp>());
+  apps.push_back(std::make_unique<DwtHaarApp>());
+  apps.push_back(std::make_unique<SharpenApp>());
+  apps.push_back(std::make_unique<QuasiRandomApp>());
+  return apps;
+}
+
+std::unique_ptr<Application> make_application(std::string_view name) {
+  if (name == "Sobel") return std::make_unique<SobelApp>();
+  if (name == "Robert") return std::make_unique<RobertApp>();
+  if (name == "FFT") return std::make_unique<FftApp>();
+  if (name == "DwtHaar1D") return std::make_unique<DwtHaarApp>();
+  if (name == "Sharpen") return std::make_unique<SharpenApp>();
+  if (name == "QuasiR") return std::make_unique<QuasiRandomApp>();
+  if (name == "GEMM") return std::make_unique<GemmApp>();
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Application>> make_extension_applications() {
+  std::vector<std::unique_ptr<Application>> apps;
+  apps.push_back(std::make_unique<GemmApp>());
+  return apps;
+}
+
+}  // namespace apim::apps

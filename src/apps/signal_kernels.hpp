@@ -1,0 +1,105 @@
+// The three numeric applications: FFT, DwtHaar1D and QuasiRandom.
+//
+// All three process fixed-point signals: FFT and DWT use Q16 samples
+// (range ~[-1,1) scaled by 65536) — operand magnitudes occupy the upper
+// half of the 32-bit datapath, as the OpenCL originals' normalized floats
+// do after fixed-point conversion;
+// QuasiRandom scrambles van-der-Corput low-discrepancy points in Q16. The acceptance metric is <10% average relative error against the
+// double-precision golden path (paper Section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace apim::apps {
+
+/// Radix-2 decimation-in-time FFT over a random complex signal. Each stage
+/// halves the amplitudes (free shifts) to avoid fixed-point overflow, as
+/// the OpenCL sample does.
+class FftApp final : public Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "FFT"; }
+  [[nodiscard]] quality::QosSpec qos() const override {
+    return quality::QosSpec::numeric();
+  }
+  void generate(std::size_t elements, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t element_count() const override {
+    return signal_re_.size();
+  }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    return {60.0, 200.0};  // ~5 ops x log2(L) passes; traffic per pass.
+  }
+
+  static constexpr std::int64_t kScale = 65536;  // Q16.
+
+ private:
+  std::vector<std::int64_t> signal_re_;  // Q16 samples.
+  std::vector<std::int64_t> signal_im_;
+};
+
+/// 1D Haar wavelet transform, full decomposition. Per pair: two multiplies
+/// by 1/sqrt(2) and an add/subtract.
+class DwtHaarApp final : public Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "DwtHaar1D"; }
+  [[nodiscard]] quality::QosSpec qos() const override {
+    return quality::QosSpec::numeric();
+  }
+  void generate(std::size_t elements, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t element_count() const override {
+    return signal_.size();
+  }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    return {8.0, 64.0};
+  }
+
+  static constexpr std::int64_t kScale = 65536;            // Q16.
+  static constexpr std::int64_t kInvSqrt2 = 46341;         // 1/sqrt(2) in Q16.
+
+ private:
+  std::vector<std::int64_t> signal_;  // Q16 samples.
+};
+
+/// Quasi-random sequence scrambling: each output is computed independently
+/// from a low-discrepancy input point x_i as
+///   out_i = frac(x_i * c + d)
+/// — the low half of the integer product x_i * c (multiplicative
+/// scrambling) plus a dimension offset, mod 1. One multiply and one add
+/// per element — the structure of the OpenCL
+/// QuasiRandomSequence sample, where direction-number points are scrambled
+/// per dimension. It is the lightest of the six workloads (lowest EDP gain
+/// in Table 1). Elements are independent, so relaxation errors do not
+/// accumulate across the sequence.
+class QuasiRandomApp final : public Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "QuasiR"; }
+  [[nodiscard]] quality::QosSpec qos() const override {
+    return quality::QosSpec::numeric();
+  }
+  void generate(std::size_t elements, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t element_count() const override { return count_; }
+  [[nodiscard]] std::vector<double> run_golden() const override;
+  [[nodiscard]] std::vector<double> run_apim(
+      core::ApimDevice& device) const override;
+  [[nodiscard]] baseline::GpuAppProfile gpu_profile() const override {
+    return {2.0, 16.0};
+  }
+
+  static constexpr std::int64_t kScale = 65536;   // Q16.
+  static constexpr std::int64_t kOffset = 40503;  // Dimension offset, Q16.
+  static constexpr std::int64_t kMultiplier = 48271;  // Q16 scrambler.
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<std::int64_t> points_;  // Low-discrepancy inputs, Q16.
+};
+
+}  // namespace apim::apps

@@ -1,0 +1,49 @@
+// Approximation configuration (paper Section 3.4).
+//
+// APIM offers two knobs:
+//  * first-stage masking: zero the low `mask_bits` of the multiplier before
+//    partial-product generation. Cheap (fewer partial products) but the
+//    error is injected early and propagates through the whole multiply.
+//  * last-stage relaxation: in the final product-generation addition,
+//    compute the low `relax_bits` sum bits approximately as S = NOT(Cout)
+//    with carries still exact (SA majority), and only the top k bits
+//    exactly. Latency 13k + 2m + 1 instead of 13*(2N).
+// The adaptive runtime tunes `relax_bits` per application (Section 4.1/4.3).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace apim::arith {
+
+struct ApproxConfig {
+  /// First-stage approximation: LSBs of the multiplier masked to zero
+  /// before partial products are generated. 0 = off.
+  unsigned mask_bits = 0;
+  /// Last-stage approximation: number of product LSBs whose sum bits are
+  /// approximated from the exact carries (the paper's `m`). 0 = off.
+  unsigned relax_bits = 0;
+
+  [[nodiscard]] static constexpr ApproxConfig exact() noexcept { return {}; }
+  [[nodiscard]] static constexpr ApproxConfig first_stage(unsigned mask) noexcept {
+    return {mask, 0};
+  }
+  [[nodiscard]] static constexpr ApproxConfig last_stage(unsigned relax) noexcept {
+    return {0, relax};
+  }
+
+  [[nodiscard]] constexpr bool is_exact() const noexcept {
+    return mask_bits == 0 && relax_bits == 0;
+  }
+
+  /// `m` clamped to the final-adder width (2N for an NxN multiply): relax
+  /// bits beyond the product width are meaningless.
+  [[nodiscard]] constexpr unsigned effective_relax(unsigned adder_width) const noexcept {
+    return std::min(relax_bits, adder_width);
+  }
+
+  friend constexpr bool operator==(const ApproxConfig&,
+                                   const ApproxConfig&) noexcept = default;
+};
+
+}  // namespace apim::arith

@@ -1,0 +1,32 @@
+#include "arith/batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "arith/fast_units.hpp"
+
+namespace apim::arith {
+
+BatchOutcome fast_multiply_batch(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> operands,
+    unsigned n, ApproxConfig cfg, const device::EnergyModel& em,
+    std::size_t lanes) {
+  assert(lanes >= 1);
+  BatchOutcome out;
+  out.lanes_used = std::min(lanes, std::max<std::size_t>(operands.size(), 1));
+  out.products.reserve(operands.size());
+  std::vector<util::Cycles> lane_cycles(out.lanes_used, 0);
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    const MultiplyOutcome r =
+        fast_multiply(operands[i].first, operands[i].second, n, cfg, em);
+    out.products.push_back(r.product);
+    lane_cycles[i % out.lanes_used] += r.cycles;
+    out.total_lane_cycles += r.cycles;
+    out.energy_ops_pj += r.energy_ops_pj;
+  }
+  out.makespan =
+      *std::max_element(lane_cycles.begin(), lane_cycles.end());
+  return out;
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,51 @@
+// Batched lane-parallel execution of independent multiplies.
+//
+// APIM's throughput comes from many tiles running the multiply schedule
+// concurrently (core/chip.hpp). ApimDevice's accounting divides total
+// lane-cycles by the lane count — the balanced-load idealization. This
+// unit schedules an actual batch onto L lanes (round robin) and reports
+// the TRUE wall latency (the slowest lane), so the idealization can be
+// quantified: multiply latency is data-dependent (popcount of the
+// multiplier), and imbalance shows up as makespan above the mean.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "arith/approx.hpp"
+#include "device/energy_model.hpp"
+#include "util/units.hpp"
+
+namespace apim::arith {
+
+struct BatchOutcome {
+  std::vector<std::uint64_t> products;  ///< One per input pair, in order.
+  util::Cycles makespan = 0;        ///< Wall latency: the slowest lane.
+  util::Cycles total_lane_cycles = 0;  ///< Sum over all ops.
+  double energy_ops_pj = 0.0;
+  std::size_t lanes_used = 0;
+
+  /// Balanced-load idealization of the makespan (what ApimDevice's
+  /// elapsed_seconds assumes).
+  [[nodiscard]] double ideal_makespan() const noexcept {
+    return lanes_used == 0 ? 0.0
+                           : static_cast<double>(total_lane_cycles) /
+                                 static_cast<double>(lanes_used);
+  }
+  /// Makespan inflation over the ideal (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance() const noexcept {
+    const double ideal = ideal_makespan();
+    return ideal == 0.0 ? 1.0 : static_cast<double>(makespan) / ideal;
+  }
+};
+
+/// Execute `operands` (a, b) pairs of n-bit multiplies across `lanes`
+/// pipelines, round robin in order. Uses the validated fast models per op.
+[[nodiscard]] BatchOutcome fast_multiply_batch(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> operands,
+    unsigned n, ApproxConfig cfg, const device::EnergyModel& em,
+    std::size_t lanes);
+
+}  // namespace apim::arith

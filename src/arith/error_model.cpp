@@ -1,0 +1,60 @@
+#include "arith/error_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "arith/word_models.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+double relaxed_add_error_rms(unsigned m) noexcept {
+  // Independent-bit variance (4^m - 1)/12 times the 4/3 carry-correlation
+  // factor (see header): (4^m - 1) / 9.
+  return std::sqrt((std::pow(4.0, static_cast<double>(m)) - 1.0) / 9.0);
+}
+
+double relaxed_add_error_bound(unsigned m) noexcept {
+  return std::pow(2.0, static_cast<double>(m));
+}
+
+double relaxed_multiply_relative_rms(unsigned n, unsigned m) noexcept {
+  // Uniform magnitudes in [0, 2^n): E[a] = 2^n / 2, E[product] = 4^n / 4.
+  const double expected_product =
+      std::pow(4.0, static_cast<double>(n)) / 4.0;
+  const unsigned clamped = m > 2 * n ? 2 * n : m;
+  return relaxed_add_error_rms(clamped) / expected_product;
+}
+
+MeasuredError measure_relaxed_add_error(unsigned width, unsigned m,
+                                        int trials, std::uint64_t seed) {
+  assert(width >= 1 && width <= 63);
+  assert(trials > 0);
+  util::Xoshiro256 rng(seed);
+  MeasuredError out;
+  double sum = 0.0, sum_sq = 0.0;
+  std::uint64_t wrong_bits = 0, total_bits = 0;
+  const unsigned clamped = m > width ? width : m;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t a = rng.next() & util::low_mask(width);
+    const std::uint64_t b = rng.next() & util::low_mask(width);
+    const std::uint64_t approx = approximate_add_value(a, b, width, m);
+    const std::uint64_t exact = a + b;
+    const double err = static_cast<double>(approx) - static_cast<double>(exact);
+    sum += err;
+    sum_sq += err * err;
+    out.max_abs = std::max(out.max_abs, std::abs(err));
+    wrong_bits += static_cast<std::uint64_t>(
+        util::popcount((approx ^ exact) & util::low_mask(clamped)));
+    total_bits += clamped;
+  }
+  out.mean = sum / trials;
+  out.rms = std::sqrt(sum_sq / trials);
+  out.bit_error_rate = total_bits == 0
+                           ? 0.0
+                           : static_cast<double>(wrong_bits) /
+                                 static_cast<double>(total_bits);
+  return out;
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,123 @@
+#include "arith/fast_units.hpp"
+
+#include <cassert>
+
+#include "arith/latency_model.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+MultiplyOutcome fast_multiply(std::uint64_t a, std::uint64_t b, unsigned n,
+                              ApproxConfig cfg,
+                              const device::EnergyModel& em) {
+  assert(n >= 1 && n <= 32);
+  a &= util::low_mask(n);
+  b &= util::low_mask(n);
+  const unsigned product_width = 2 * n;
+  const unsigned relax = cfg.effective_relax(product_width);
+
+  MultiplyOutcome out;
+
+  // Stage 1: partial-product generation.
+  const PpgResult ppg = word_ppg(a, b, n, cfg.mask_bits, em);
+  out.cycles += ppg.cycles;
+  out.energy_ops_pj += ppg.energy_ops_pj;
+  out.partial_count = static_cast<unsigned>(ppg.partials.size());
+
+  if (ppg.partials.empty()) {
+    // All multiplier bits are zero: the (pre-cleared) product row already
+    // holds the exact result; no compute is issued.
+    out.product = 0;
+    return out;
+  }
+  if (ppg.partials.size() == 1) {
+    // One partial product IS the product; it already sits in the
+    // processing block after the copy-shift.
+    out.product = ppg.partials.front();
+    return out;
+  }
+
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  if (ppg.partials.size() == 2) {
+    x = ppg.partials[0];
+    y = ppg.partials[1];
+  } else {
+    // Stage 2: Wallace-tree 3:2 reduction across the two processing blocks.
+    const TreePlan plan =
+        plan_tree_reduction(ppg.widths, product_width, /*block_a=*/1,
+                            /*block_b=*/2);
+    const TreeReduceResult tree = word_tree_reduce(ppg.partials, plan, em);
+    out.cycles += tree.cycles;
+    out.energy_ops_pj += tree.energy_ops_pj;
+    out.tree_stages = static_cast<unsigned>(plan.stages.size());
+    x = tree.x;
+    y = tree.y;
+  }
+
+  // Stage 3: final product generation over the full 2N bits.
+  const WordUnitResult fin = word_final_add(x, y, product_width, relax, em);
+  out.cycles += fin.cycles;
+  out.energy_ops_pj += fin.energy_ops_pj;
+  // The product of two n-bit numbers fits in 2n bits, so the exact carry
+  // out of the final add is zero; in relaxed mode we still truncate to the
+  // product width like the hardware's fixed-size product row does.
+  out.product = fin.value & util::low_mask(product_width);
+  return out;
+}
+
+AddOutcome fast_tree_add(std::span<const std::uint64_t> values,
+                         std::span<const unsigned> widths, unsigned width_cap,
+                         const device::EnergyModel& em) {
+  assert(values.size() == widths.size());
+  assert(!values.empty());
+  if (values.size() == 1) return AddOutcome{values[0], 0, 0.0};
+
+  AddOutcome out;
+  std::uint64_t x = 0, y = 0;
+  unsigned x_width = widths[0], y_width = widths[1];
+  if (values.size() == 2) {
+    x = values[0];
+    y = values[1];
+  } else {
+    const TreePlan plan =
+        plan_tree_reduction(widths, width_cap, /*block_a=*/1, /*block_b=*/2);
+    const TreeReduceResult tree = word_tree_reduce(values, plan, em);
+    out.cycles += tree.cycles;
+    out.energy_ops_pj += tree.energy_ops_pj;
+    x = tree.x;
+    y = tree.y;
+    x_width = tree.x_width;
+    y_width = tree.y_width;
+  }
+  const unsigned n_final = x_width > y_width ? x_width : y_width;
+  const WordUnitResult fin = word_serial_add(x, y, n_final, em);
+  out.sum = fin.value;
+  out.cycles += fin.cycles;
+  out.energy_ops_pj += fin.energy_ops_pj;
+  return out;
+}
+
+AddOutcome fast_add(std::uint64_t a, std::uint64_t b, unsigned n,
+                    unsigned relax_m, const device::EnergyModel& em) {
+  assert(n >= 1 && n <= 63);
+  a &= util::low_mask(n);
+  b &= util::low_mask(n);
+  AddOutcome out;
+  // The runtime issues whichever adder is faster (latency_model's policy).
+  relax_m = profitable_add_relax(n, relax_m);
+  if (relax_m == 0) {
+    const WordUnitResult r = word_serial_add(a, b, n, em);
+    out.sum = r.value;
+    out.cycles = r.cycles;
+    out.energy_ops_pj = r.energy_ops_pj;
+  } else {
+    const WordUnitResult r = word_final_add(a, b, n, relax_m, em);
+    out.sum = r.value;
+    out.cycles = r.cycles;
+    out.energy_ops_pj = r.energy_ops_pj;
+  }
+  return out;
+}
+
+}  // namespace apim::arith

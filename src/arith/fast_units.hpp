@@ -1,0 +1,70 @@
+// Composed word-level APIM units: the full multiplier and the standalone
+// adder, with cycle/energy accounting identical to the bit-level engine
+// (see word_models.hpp for the convention).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arith/approx.hpp"
+#include "arith/word_models.hpp"
+#include "device/energy_model.hpp"
+#include "util/units.hpp"
+
+namespace apim::arith {
+
+/// Result of an N x N in-memory multiplication.
+struct MultiplyOutcome {
+  std::uint64_t product = 0;  ///< 2N-bit product (approximate if configured).
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+  unsigned partial_count = 0;  ///< Partial products actually generated.
+  unsigned tree_stages = 0;    ///< 3:2 reduction stages executed.
+};
+
+/// Multiply two n-bit magnitudes (n <= 32) through the three-stage APIM
+/// pipeline: SA-driven partial-product generation, Wallace-tree 3:2
+/// reduction, final product generation with optional relaxation.
+[[nodiscard]] MultiplyOutcome fast_multiply(std::uint64_t a, std::uint64_t b,
+                                            unsigned n, ApproxConfig cfg,
+                                            const device::EnergyModel& em);
+
+/// Result of a standalone n-bit addition.
+struct AddOutcome {
+  std::uint64_t sum = 0;  ///< (n+1)-bit result including carry out.
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+};
+
+/// Add two n-bit magnitudes. Exact mode uses the serial MAGIC adder
+/// (12n + 1 cycles); with relax_m > 0 the SA-majority relaxed adder is used
+/// (13(n-m) + 2m + 1 cycles), the same technique the multiplier's final
+/// stage applies (Section 3.4 — the approach works for any addition, and
+/// the adaptive runtime applies it to the application's standalone adds as
+/// well as its multiplies).
+[[nodiscard]] AddOutcome fast_add(std::uint64_t a, std::uint64_t b, unsigned n,
+                                  unsigned relax_m,
+                                  const device::EnergyModel& em);
+
+/// Multi-operand addition: Wallace-tree 3:2 reduction followed by one
+/// serial add of the two survivors — the word-level twin of
+/// inmemory_tree_add. `width_cap` bounds the running sum (pass
+/// n + ceil(log2(M)) for M n-bit operands).
+[[nodiscard]] AddOutcome fast_tree_add(std::span<const std::uint64_t> values,
+                                       std::span<const unsigned> widths,
+                                       unsigned width_cap,
+                                       const device::EnergyModel& em);
+
+/// Total energy (pJ) including per-cycle controller overhead.
+[[nodiscard]] inline double total_energy_pj(const MultiplyOutcome& r,
+                                            const device::EnergyModel& em) {
+  return r.energy_ops_pj +
+         static_cast<double>(r.cycles) * em.e_cycle_overhead_pj;
+}
+[[nodiscard]] inline double total_energy_pj(const AddOutcome& r,
+                                            const device::EnergyModel& em) {
+  return r.energy_ops_pj +
+         static_cast<double>(r.cycles) * em.e_cycle_overhead_pj;
+}
+
+}  // namespace apim::arith

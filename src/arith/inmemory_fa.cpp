@@ -1,0 +1,66 @@
+#include "arith/inmemory_fa.hpp"
+
+#include <cassert>
+
+namespace apim::arith {
+
+FaLaneMap make_fa_lane(const crossbar::CellAddr& a, const crossbar::CellAddr& b,
+                       const crossbar::CellAddr& c, std::size_t scratch_block,
+                       std::size_t scratch_row, std::size_t col,
+                       int cout_col_shift) {
+  FaLaneMap lane;
+  lane.cells[kSlotA] = a;
+  lane.cells[kSlotB] = b;
+  lane.cells[kSlotC] = c;
+  for (unsigned slot = kSlotT1; slot < kFaSlotCount; ++slot) {
+    const std::size_t row = scratch_row + (slot - kSlotT1);
+    std::size_t dst_col = col;
+    if (slot == kSlotCout) {
+      assert(cout_col_shift >= 0 ||
+             col >= static_cast<std::size_t>(-cout_col_shift));
+      dst_col = col + static_cast<std::size_t>(cout_col_shift);
+    }
+    lane.cells[slot] = crossbar::CellAddr{scratch_block, row, dst_col};
+  }
+  return lane;
+}
+
+void append_lane_init_cells(const FaLaneMap& lane,
+                            std::vector<crossbar::CellAddr>& out) {
+  for (unsigned slot = kSlotT1; slot < kFaSlotCount; ++slot)
+    out.push_back(lane.cells[slot]);
+}
+
+namespace {
+
+magic::NorOp make_step_op(const FaLaneMap& lane, const FaStep& step) {
+  magic::NorOp op;
+  op.dst = lane.cells[step.dst];
+  op.inputs.reserve(step.arity);
+  for (unsigned i = 0; i < step.arity; ++i)
+    op.inputs.push_back(lane.cells[step.inputs[i]]);
+  return op;
+}
+
+}  // namespace
+
+void execute_fa_lane_serial(magic::MagicEngine& engine, const FaLaneMap& lane) {
+  for (const FaStep& step : kFaSchedule) {
+    const magic::NorOp op = make_step_op(lane, step);
+    engine.nor(op.dst, op.inputs);
+  }
+}
+
+void execute_fa_lanes_parallel(magic::MagicEngine& engine,
+                               std::span<const FaLaneMap> lanes) {
+  assert(!lanes.empty());
+  std::vector<magic::NorOp> batch;
+  batch.reserve(lanes.size());
+  for (const FaStep& step : kFaSchedule) {
+    batch.clear();
+    for (const FaLaneMap& lane : lanes) batch.push_back(make_step_op(lane, step));
+    engine.nor_parallel(batch);
+  }
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,52 @@
+// Cell-level execution of the shared full-adder NOR schedule.
+//
+// A "lane" is one bit position of an addition: three input cells plus a
+// 12-cell scratch column holding the schedule's intermediates (including
+// the Cout and S outputs). Lanes can execute serially (ripple adders: 12
+// cycles per lane) or bit-parallel (carry-save stages: 12 cycles for any
+// number of lanes), matching the paper's 12N+1 / 13-cycle accounting.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "arith/fa_schedule.hpp"
+#include "crossbar/address.hpp"
+#include "magic/engine.hpp"
+
+namespace apim::arith {
+
+/// Cell assignment for every slot of one lane.
+struct FaLaneMap {
+  std::array<crossbar::CellAddr, kFaSlotCount> cells{};
+
+  [[nodiscard]] const crossbar::CellAddr& cell(FaSlot s) const {
+    return cells[s];
+  }
+};
+
+/// Build a lane whose scratch column lives at (`scratch_block`,
+/// rows `scratch_row`..`scratch_row`+11, column `col`), with the Cout cell
+/// placed `cout_col_shift` columns to the right (tree stages use +1 so the
+/// stored carry word is already aligned; ripple adders use 0).
+[[nodiscard]] FaLaneMap make_fa_lane(const crossbar::CellAddr& a,
+                                     const crossbar::CellAddr& b,
+                                     const crossbar::CellAddr& c,
+                                     std::size_t scratch_block,
+                                     std::size_t scratch_row, std::size_t col,
+                                     int cout_col_shift);
+
+/// Cells a lane's init step must set to '1' (all 12 non-input slots).
+void append_lane_init_cells(const FaLaneMap& lane,
+                            std::vector<crossbar::CellAddr>& out);
+
+/// Execute the 12 schedule steps for one lane, one cycle per step.
+void execute_fa_lane_serial(magic::MagicEngine& engine, const FaLaneMap& lane);
+
+/// Execute the schedule bit-parallel across all lanes: 12 cycles total,
+/// each cycle a nor_parallel batch over every lane.
+void execute_fa_lanes_parallel(magic::MagicEngine& engine,
+                               std::span<const FaLaneMap> lanes);
+
+}  // namespace apim::arith

@@ -1,0 +1,70 @@
+// Bit-level in-memory arithmetic units executed on the MAGIC engine.
+//
+// Each self-contained entry point builds a right-sized blocked crossbar,
+// loads the operands into the data rows (loading is not charged: in PIM the
+// data already lives in memory), then executes the operation and reports
+// the measured cycle count and micro-op energy. These are the ground truth
+// that the word-level fast models (fast_units.hpp) are property-tested
+// against, and the basis of the microbenchmarks (Figure 6, ablations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arith/approx.hpp"
+#include "arith/tree_plan.hpp"
+#include "device/energy_model.hpp"
+#include "magic/engine.hpp"
+#include "util/units.hpp"
+
+namespace apim::arith {
+
+/// Measured outcome of one in-memory operation (energy excludes per-cycle
+/// controller overhead, same convention as the word models).
+struct InMemoryResult {
+  std::uint64_t value = 0;
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+};
+
+/// Serial (ripple) MAGIC addition of two n-bit numbers: 12n+1 cycles.
+/// Result includes the carry out (n+1 bits).
+[[nodiscard]] InMemoryResult inmemory_serial_add(std::uint64_t a,
+                                                 std::uint64_t b, unsigned n,
+                                                 const device::EnergyModel& em);
+
+/// One carry-save 3:2 stage over `width`-bit operands: 13 cycles
+/// independent of width. Returns sum and (aligned) carry words.
+struct CsaOutcome {
+  std::uint64_t sum = 0;
+  std::uint64_t carry = 0;
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+};
+[[nodiscard]] CsaOutcome inmemory_csa(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t c, unsigned width,
+                                      const device::EnergyModel& em);
+
+/// Full multi-operand addition: Wallace-tree 3:2 reduction toggling between
+/// two processing blocks, then one serial add of the two survivors.
+/// `widths[i]` bounds `values[i]`; `width_cap` bounds the running sum
+/// (callers typically pass n + ceil(log2(M))).
+[[nodiscard]] InMemoryResult inmemory_tree_add(
+    std::span<const std::uint64_t> values, std::span<const unsigned> widths,
+    unsigned width_cap, const device::EnergyModel& em);
+
+/// Full NxN in-memory multiplication through the three-stage pipeline with
+/// the given approximation configuration. n <= 32.
+[[nodiscard]] InMemoryResult inmemory_multiply(std::uint64_t a,
+                                               std::uint64_t b, unsigned n,
+                                               ApproxConfig cfg,
+                                               const device::EnergyModel& em);
+
+/// Standalone relaxed addition (SA-majority carries, approximated sums in
+/// the low `relax_m` bits): 13(n-m) + 2m + 1 cycles.
+[[nodiscard]] InMemoryResult inmemory_relaxed_add(std::uint64_t a,
+                                                  std::uint64_t b, unsigned n,
+                                                  unsigned relax_m,
+                                                  const device::EnergyModel& em);
+
+}  // namespace apim::arith

@@ -1,0 +1,47 @@
+#include "arith/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arith/tree_plan.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+util::Cycles tree_reduce_cycles(std::size_t operands) noexcept {
+  return 13ull * reduction_stage_count(operands);
+}
+
+util::Cycles tree_add_cycles(std::size_t operands, unsigned n,
+                             unsigned final_width) noexcept {
+  if (operands <= 1) return 0;
+  const unsigned stages = reduction_stage_count(operands);
+  if (final_width == 0) {
+    const unsigned cap =
+        n + util::bit_width(static_cast<std::uint64_t>(operands) - 1);
+    final_width = std::min(n + stages, cap);
+  }
+  return tree_reduce_cycles(operands) + serial_add_cycles(final_width);
+}
+
+util::Cycles multiply_cycles(unsigned n, unsigned p,
+                             ApproxConfig cfg) noexcept {
+  if (p == 0) return 0;
+  const unsigned product_width = 2 * n;
+  util::Cycles cycles = ppg_cycles(p);
+  if (p >= 2) {
+    cycles += tree_reduce_cycles(p);
+    cycles += final_add_cycles(product_width,
+                               cfg.effective_relax(product_width));
+  }
+  return cycles;
+}
+
+double expected_multiply_cycles(unsigned n, ApproxConfig cfg) noexcept {
+  const unsigned effective_bits =
+      cfg.mask_bits >= n ? 0 : n - cfg.mask_bits;
+  const unsigned expected_p = std::max(1u, effective_bits / 2);
+  return static_cast<double>(multiply_cycles(n, expected_p, cfg));
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,79 @@
+// Closed-form latency formulas for the APIM arithmetic units.
+//
+// These are the cycle counts the paper quotes (Sections 2, 3.2–3.4); the
+// property tests assert that the measured engine/fast-model cycle counts
+// equal these formulas, which is the strongest form of "we reproduced the
+// paper's accounting".
+#pragma once
+
+#include <cstddef>
+
+#include "arith/approx.hpp"
+#include "util/units.hpp"
+
+namespace apim::arith {
+
+/// Serial MAGIC addition of two n-bit numbers [24]: 12n + 1.
+[[nodiscard]] constexpr util::Cycles serial_add_cycles(unsigned n) noexcept {
+  return 12ull * n + 1;
+}
+
+/// One 3:2 carry-save stage, any width: 13.
+[[nodiscard]] constexpr util::Cycles csa_cycles() noexcept { return 13; }
+
+/// Wallace-tree reduction of `operands` addends to two: 13 per stage.
+[[nodiscard]] util::Cycles tree_reduce_cycles(std::size_t operands) noexcept;
+
+/// Full multi-operand addition of M n-bit numbers: tree reduction plus the
+/// final serial add of the two survivors. `final_width` is the width of
+/// the survivors (what plan_tree_reduction produces); pass 0 to use the
+/// default bound min(n + stages, width_cap) with width_cap = n + ceil(log2 M).
+[[nodiscard]] util::Cycles tree_add_cycles(std::size_t operands, unsigned n,
+                                           unsigned final_width = 0) noexcept;
+
+/// Final product generation over `width` bits with m relaxed LSBs:
+/// 13k + 2m + 1 (k = width - m); the +1 invert cycle exists only when m>0.
+[[nodiscard]] constexpr util::Cycles final_add_cycles(unsigned width,
+                                                      unsigned m) noexcept {
+  const unsigned clamped = m > width ? width : m;
+  const unsigned k = width - clamped;
+  return 13ull * k + 2ull * clamped + (clamped > 0 ? 1 : 0);
+}
+
+/// The adder-selection policy: relaxation only engages when it actually
+/// reduces latency (at tiny m the relaxed adder's 13-cycle exact bits lose
+/// to the serial adder's 12). Returns the relax setting to issue: `m`
+/// unchanged, or 0 for the serial fallback.
+[[nodiscard]] constexpr unsigned profitable_add_relax(unsigned n,
+                                                      unsigned m) noexcept {
+  if (m == 0) return 0;
+  return final_add_cycles(n, m) >= serial_add_cycles(n) ? 0 : m;
+}
+
+/// Standalone relaxed/exact addition as dispatched by fast_add (includes
+/// the serial fallback).
+[[nodiscard]] constexpr util::Cycles standalone_add_cycles(unsigned n,
+                                                           unsigned m) noexcept {
+  const unsigned effective = profitable_add_relax(n, m);
+  return effective == 0 ? serial_add_cycles(n)
+                        : final_add_cycles(n, effective);
+}
+
+/// Partial-product generation with p one-bits in the (unmasked) multiplier:
+/// 1 shared invert cycle + p copy cycles (0 when p = 0); worst case n + 1.
+[[nodiscard]] constexpr util::Cycles ppg_cycles(unsigned p) noexcept {
+  return p == 0 ? 0 : 1ull + p;
+}
+
+/// Full NxN multiply latency given the popcount p of the effective
+/// multiplier (after first-stage masking).
+[[nodiscard]] util::Cycles multiply_cycles(unsigned n, unsigned p,
+                                           ApproxConfig cfg) noexcept;
+
+/// Expected multiply latency for uniformly random operands (expected
+/// popcount n/2 used for the data-dependent stages). Used for quick
+/// analytic sizing only; app-level results always measure real data.
+[[nodiscard]] double expected_multiply_cycles(unsigned n,
+                                              ApproxConfig cfg) noexcept;
+
+}  // namespace apim::arith

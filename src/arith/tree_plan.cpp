@@ -1,0 +1,90 @@
+#include "arith/tree_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "arith/fa_schedule.hpp"
+
+namespace apim::arith {
+
+TreePlan plan_tree_reduction(std::span<const unsigned> widths,
+                             unsigned width_cap, std::size_t block_a,
+                             std::size_t block_b) {
+  assert(width_cap >= 1 && width_cap <= 64);
+  assert(block_a != block_b);
+
+  TreePlan plan;
+  std::vector<std::size_t> live;  // Operand ids still to be reduced.
+  std::size_t rows_a = 0;
+  std::size_t rows_b = 0;
+
+  for (unsigned w : widths) {
+    assert(w >= 1 && w <= width_cap);
+    plan.operands.push_back(TreeOperand{w, block_a, rows_a++});
+    live.push_back(plan.operands.size() - 1);
+    plan.max_col = std::max<std::size_t>(plan.max_col, w - 1);
+  }
+
+  bool target_is_b = true;  // First stage toggles away from the inputs.
+  while (live.size() > 2) {
+    TreeStage stage;
+    stage.target_block = target_is_b ? block_b : block_a;
+    std::size_t& target_rows = target_is_b ? rows_b : rows_a;
+
+    std::vector<std::size_t> next_live;
+    std::size_t i = 0;
+    for (; i + 3 <= live.size(); i += 3) {
+      TreeGroup group;
+      group.in0 = live[i];
+      group.in1 = live[i + 1];
+      group.in2 = live[i + 2];
+      const unsigned max_w = std::max({plan.operands[group.in0].width,
+                                       plan.operands[group.in1].width,
+                                       plan.operands[group.in2].width});
+      group.fa_width = std::min(max_w + 1, width_cap);
+      group.scratch_row = target_rows;
+      target_rows += kFaScratchSlots;  // 12 rows: 10 scratch + sum + carry.
+
+      // Sum and carry operands live inside the scratch band (the schedule's
+      // kSlotS / kSlotCout rows); id order: sum first, then carry.
+      const std::size_t sum_row =
+          group.scratch_row + (kSlotS - 3);  // Slot index minus inputs.
+      const std::size_t carry_row = group.scratch_row + (kSlotCout - 3);
+      plan.operands.push_back(
+          TreeOperand{group.fa_width, stage.target_block, sum_row});
+      group.out_sum = plan.operands.size() - 1;
+      plan.operands.push_back(
+          TreeOperand{group.fa_width, stage.target_block, carry_row});
+      group.out_carry = plan.operands.size() - 1;
+
+      next_live.push_back(group.out_sum);
+      next_live.push_back(group.out_carry);
+      // Cout lanes write one column past their lane index.
+      plan.max_col = std::max<std::size_t>(plan.max_col, group.fa_width);
+      stage.groups.push_back(group);
+    }
+    for (; i < live.size(); ++i) {
+      stage.pass_through.push_back(live[i]);
+      next_live.push_back(live[i]);
+    }
+    plan.stages.push_back(std::move(stage));
+    live = std::move(next_live);
+    target_is_b = !target_is_b;
+  }
+
+  plan.final_ids = live;
+  plan.rows_used_block_a = rows_a;
+  plan.rows_used_block_b = rows_b;
+  return plan;
+}
+
+unsigned reduction_stage_count(std::size_t operands) noexcept {
+  unsigned stages = 0;
+  while (operands > 2) {
+    operands = 2 * (operands / 3) + operands % 3;
+    ++stages;
+  }
+  return stages;
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,80 @@
+// Wallace-tree reduction planning (paper Section 3.2, Figure 2(b)).
+//
+// APIM adds M operands by repeated carry-save 3:2 reduction: at every stage
+// the live addends are grouped in threes, each group is reduced to a sum
+// word and a carry word in 13 cycles (width-independent), leftovers pass
+// through, and the stage's outputs land in the *other* processing block
+// (the reduction "toggles between [two blocks] at every step",
+// Section 3.3). The plan below captures that schedule — group membership,
+// operand widths, and block/row placement — and is the single source of
+// truth for both the bit-level engine executor (inmemory_units.*) and the
+// word-level fast model (word_models.*), so the two cannot diverge.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace apim::arith {
+
+/// One logical operand in the reduction (an initial addend or a stage
+/// output), with its placement in the blocked crossbar.
+struct TreeOperand {
+  unsigned width = 0;      ///< Meaningful bits (value < 2^width).
+  std::size_t block = 0;   ///< Block holding the operand row.
+  std::size_t row = 0;     ///< Row within the block; bits at columns 0..w-1.
+};
+
+/// A 3:2 group: three input operand ids reduced to a sum and a carry.
+struct TreeGroup {
+  std::size_t in0 = 0, in1 = 0, in2 = 0;
+  std::size_t out_sum = 0;    ///< Operand id of the sum word.
+  std::size_t out_carry = 0;  ///< Operand id of the carry word (already
+                              ///< includes the <<1 column shift).
+  unsigned fa_width = 0;      ///< Bit-parallel lanes executed (columns).
+  /// First of the 12 consecutive scratch rows in the target block.
+  std::size_t scratch_row = 0;
+};
+
+struct TreeStage {
+  std::vector<TreeGroup> groups;
+  std::size_t target_block = 0;
+  /// Operand ids that had no group this stage and stay where they are.
+  std::vector<std::size_t> pass_through;
+};
+
+struct TreePlan {
+  std::vector<TreeOperand> operands;  ///< Initial operands first, then
+                                      ///< stage outputs in creation order.
+  std::vector<TreeStage> stages;
+  /// Ids of the (at most two) operands remaining after reduction, in order.
+  std::vector<std::size_t> final_ids;
+  /// Rows consumed in each of the two processing blocks, for geometry
+  /// validation against the crossbar configuration.
+  std::size_t rows_used_block_a = 0;
+  std::size_t rows_used_block_b = 0;
+  /// Largest column index touched (cout lanes write one past fa_width).
+  std::size_t max_col = 0;
+};
+
+/// Build the reduction plan.
+///
+/// `widths`        widths of the initial operands, in order;
+/// `width_cap`     upper bound on any operand width (callers derive it from
+///                 the mathematical bound on the running sum, e.g. 2N for an
+///                 NxN multiply), must be <= 64;
+/// `block_a`       block receiving the initial operands (rows 0..M-1) and
+///                 the outputs of odd stages;
+/// `block_b`       block receiving the outputs of even stages (the first
+///                 reduction stage targets block_b).
+[[nodiscard]] TreePlan plan_tree_reduction(std::span<const unsigned> widths,
+                                           unsigned width_cap,
+                                           std::size_t block_a,
+                                           std::size_t block_b);
+
+/// Closed-form number of 3:2 stages needed to reduce `operands` addends to
+/// two (0 when operands <= 2). Matches the plan's stage count; the paper's
+/// example: 9 operands -> 4 stages.
+[[nodiscard]] unsigned reduction_stage_count(std::size_t operands) noexcept;
+
+}  // namespace apim::arith

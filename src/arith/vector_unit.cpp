@@ -1,0 +1,109 @@
+#include "arith/vector_unit.hpp"
+
+#include <cassert>
+
+#include "arith/inmemory_fa.hpp"
+#include "arith/latency_model.hpp"
+#include "arith/word_models.hpp"
+#include "crossbar/crossbar.hpp"
+#include "magic/engine.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+using crossbar::BlockedCrossbar;
+using crossbar::CellAddr;
+using crossbar::CrossbarConfig;
+
+VectorAddOutcome fast_vector_add(std::span<const std::uint64_t> a,
+                                 std::span<const std::uint64_t> b, unsigned n,
+                                 const device::EnergyModel& em) {
+  assert(a.size() == b.size());
+  VectorAddOutcome out;
+  if (a.empty()) return out;
+  out.cycles = serial_add_cycles(n);  // Shared by every lane.
+  out.sums.reserve(a.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const WordUnitResult r = word_serial_add(a[k], b[k], n, em);
+    out.sums.push_back(r.value);
+    out.energy_ops_pj += r.energy_ops_pj;  // Energy scales; cycles do not.
+  }
+  return out;
+}
+
+VectorAddOutcome inmemory_vector_add(std::span<const std::uint64_t> a,
+                                     std::span<const std::uint64_t> b,
+                                     unsigned n,
+                                     const device::EnergyModel& em) {
+  assert(a.size() == b.size());
+  assert(n >= 1 && n <= 63);
+  VectorAddOutcome out;
+  if (a.empty()) return out;
+  const std::size_t lanes_count = a.size();
+
+  // Layout: 14 rows per lane (a, b, 12 scratch slots) plus one shared
+  // never-written '0' reference row at the bottom.
+  constexpr std::size_t kRowsPerLane = 14;
+  BlockedCrossbar xbar{CrossbarConfig{
+      1, lanes_count * kRowsPerLane + 1, std::max<std::size_t>(n + 1, 8)}};
+  magic::MagicEngine engine{xbar, em};
+  for (std::size_t k = 0; k < lanes_count; ++k) {
+    for (unsigned i = 0; i < n; ++i) {
+      xbar.block(0).set(k * kRowsPerLane, i, util::bit(a[k], i) != 0);
+      xbar.block(0).set(k * kRowsPerLane + 1, i, util::bit(b[k], i) != 0);
+    }
+  }
+  const CellAddr zero_ref{0, lanes_count * kRowsPerLane, 0};
+
+  // Build all lanes' per-bit full-adder maps.
+  std::vector<std::vector<FaLaneMap>> lane_bits(lanes_count);
+  std::vector<CellAddr> init_cells;
+  init_cells.reserve(12 * n * lanes_count);
+  for (std::size_t k = 0; k < lanes_count; ++k) {
+    lane_bits[k].reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      const CellAddr av{0, k * kRowsPerLane, i};
+      const CellAddr bv{0, k * kRowsPerLane + 1, i};
+      const CellAddr c = (i == 0)
+                             ? zero_ref
+                             : lane_bits[k][i - 1].cell(kSlotCout);
+      lane_bits[k].push_back(make_fa_lane(av, bv, c, 0,
+                                          k * kRowsPerLane + 2, i, 0));
+      append_lane_init_cells(lane_bits[k].back(), init_cells);
+    }
+  }
+
+  // One shared init cycle, then 12 NOR batches per bit position, each
+  // batch spanning EVERY lane: 12n + 1 cycles regardless of lane count.
+  engine.init_cells(init_cells);
+  std::vector<magic::NorOp> batch;
+  batch.reserve(lanes_count);
+  for (unsigned i = 0; i < n; ++i) {
+    for (const FaStep& step : kFaSchedule) {
+      batch.clear();
+      for (std::size_t k = 0; k < lanes_count; ++k) {
+        magic::NorOp op;
+        op.dst = lane_bits[k][i].cell(step.dst);
+        for (unsigned s = 0; s < step.arity; ++s)
+          op.inputs.push_back(lane_bits[k][i].cell(step.inputs[s]));
+        batch.push_back(std::move(op));
+      }
+      engine.nor_parallel(batch);
+    }
+  }
+
+  out.sums.reserve(lanes_count);
+  for (std::size_t k = 0; k < lanes_count; ++k) {
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < n; ++i)
+      if (xbar.get(lane_bits[k][i].cell(kSlotS))) sum |= std::uint64_t{1} << i;
+    if (xbar.get(lane_bits[k][n - 1].cell(kSlotCout)))
+      sum |= std::uint64_t{1} << n;
+    out.sums.push_back(sum);
+  }
+  out.cycles = engine.stats().cycles;
+  out.energy_ops_pj = engine.stats().energy_ops_pj;
+  return out;
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,37 @@
+// Wide (64 x 64 -> 128 bit) multiplication composed from the 32-bit
+// in-memory multiplier — an extension beyond the paper's 32-bit datapath.
+//
+// Schoolbook decomposition: with a = aH*2^32 + aL and b = bH*2^32 + bL,
+//   a*b = aL*bL + (aL*bH + aH*bL)*2^32 + aH*bH*2^64.
+// Four 32x32 multiplies run on the standard pipeline (the shifts are free
+// via the interconnect, like partial products); the cross terms are
+// combined with word-width serial additions. Approximation (mask/relax)
+// applies inside each 32x32 multiply exactly as configured; the
+// accumulation additions are exact, so the result error is the sum of the
+// four partial-product errors (bounded by ~3 * 2^(32+m)).
+#pragma once
+
+#include <cstdint>
+
+#include "arith/approx.hpp"
+#include "device/energy_model.hpp"
+#include "util/units.hpp"
+
+namespace apim::arith {
+
+struct WideMultiplyOutcome {
+  std::uint64_t lo = 0;  ///< Low 64 bits of the 128-bit product.
+  std::uint64_t hi = 0;  ///< High 64 bits.
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+  unsigned multiplies = 4;  ///< 32x32 pipeline invocations.
+  unsigned additions = 0;   ///< Word additions issued for accumulation.
+};
+
+/// 64 x 64 multiply through four 32x32 in-memory multiplies plus exact
+/// word-serial accumulation.
+[[nodiscard]] WideMultiplyOutcome fast_multiply_wide(
+    std::uint64_t a, std::uint64_t b, ApproxConfig cfg,
+    const device::EnergyModel& em);
+
+}  // namespace apim::arith

@@ -1,0 +1,260 @@
+#include "arith/word_models.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstdlib>
+
+#include "arith/fa_schedule.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+using util::bit;
+using util::low_mask;
+using util::popcount;
+
+FaBitResult word_fa_bit(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                        const device::EnergyModel& em) {
+  assert(a <= 1 && b <= 1 && c <= 1);
+  std::array<std::uint64_t, kFaSlotCount> slot{};
+  slot[kSlotA] = a;
+  slot[kSlotB] = b;
+  slot[kSlotC] = c;
+  FaBitResult out;
+  for (const FaStep& step : kFaSchedule) {
+    std::uint64_t any = 0;
+    int ones = 0;
+    for (unsigned i = 0; i < step.arity; ++i) {
+      const std::uint64_t v = slot[step.inputs[i]];
+      any |= v;
+      ones += static_cast<int>(v);
+    }
+    const std::uint64_t result = any ^ 1u;  // NOR over single bits.
+    slot[step.dst] = result;
+    out.nor_energy_pj += em.nor_energy_pj(
+        ones, static_cast<int>(step.arity) - ones, result == 0);
+  }
+  out.sum = slot[kSlotS];
+  out.carry = slot[kSlotCout];
+  return out;
+}
+
+FaWordResult word_fa_stage(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                           unsigned width, const device::EnergyModel& em) {
+  assert(width >= 1 && width <= 64);
+  const std::uint64_t mask = low_mask(width);
+  std::array<std::uint64_t, kFaSlotCount> slot{};
+  slot[kSlotA] = a & mask;
+  slot[kSlotB] = b & mask;
+  slot[kSlotC] = c & mask;
+  FaWordResult out;
+  for (const FaStep& step : kFaSchedule) {
+    std::uint64_t any = 0;
+    int ones = 0;
+    for (unsigned i = 0; i < step.arity; ++i) {
+      const std::uint64_t v = slot[step.inputs[i]] & mask;
+      any |= v;
+      ones += popcount(v);
+    }
+    const std::uint64_t result = ~any & mask;
+    slot[step.dst] = result;
+    const int total_inputs = static_cast<int>(step.arity * width);
+    const int switches = static_cast<int>(width) - popcount(result);
+    out.nor_energy_pj +=
+        static_cast<double>(ones) * em.e_input_on_pj +
+        static_cast<double>(total_inputs - ones) * em.e_input_off_pj +
+        static_cast<double>(switches) * em.e_switch_pj;
+  }
+  out.sum = slot[kSlotS];
+  out.carry = slot[kSlotCout] << 1;  // Interconnect alignment into bit i+1.
+  return out;
+}
+
+WordUnitResult word_serial_add(std::uint64_t a, std::uint64_t b, unsigned n,
+                               const device::EnergyModel& em) {
+  assert(n >= 1 && n <= 63);
+  WordUnitResult out;
+  // One shared initialization cycle for all 12n scratch/output cells; the
+  // initial carry is a reference cell permanently at '0' (no write needed).
+  out.cycles = 1;
+  out.energy_ops_pj = 12.0 * static_cast<double>(n) * em.e_init_pj;
+  std::uint64_t carry = 0;
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const FaBitResult fa = word_fa_bit(bit(a, i), bit(b, i), carry, em);
+    sum |= fa.sum << i;
+    carry = fa.carry;
+    out.cycles += 12;
+    out.energy_ops_pj += fa.nor_energy_pj;
+  }
+  out.value = sum | (carry << n);
+  return out;
+}
+
+TreeReduceResult word_tree_reduce(std::span<const std::uint64_t> values,
+                                  const TreePlan& plan,
+                                  const device::EnergyModel& em) {
+  // Slot table indexed by operand id; initial operands come from `values`.
+  std::vector<std::uint64_t> v(plan.operands.size(), 0);
+  assert(values.size() <= v.size());
+  for (std::size_t i = 0; i < values.size(); ++i) v[i] = values[i];
+
+  TreeReduceResult out;
+  for (const TreeStage& stage : plan.stages) {
+    out.cycles += 13;  // 1 init + 12 bit-parallel NOR batches.
+    for (const TreeGroup& g : stage.groups) {
+      const unsigned w = g.fa_width;
+      // Initialization of the group's 12 x w scratch/output cells.
+      out.energy_ops_pj += 12.0 * static_cast<double>(w) * em.e_init_pj;
+      // Interconnect crossings: each of A, B, C is read 4 times by the
+      // schedule; inputs may live in another block than the scratch band.
+      const auto hops = [&](std::size_t id) {
+        return static_cast<double>(
+            std::abs(static_cast<long long>(plan.operands[id].block) -
+                     static_cast<long long>(stage.target_block)));
+      };
+      out.energy_ops_pj += 4.0 * static_cast<double>(w) *
+                           (hops(g.in0) + hops(g.in1) + hops(g.in2)) *
+                           em.e_interconnect_bit_pj;
+      // The carry word is written one column left through the barrel
+      // shifter (the "free shift" of the blocked memory).
+      out.energy_ops_pj += static_cast<double>(w) * em.e_interconnect_bit_pj;
+
+      const FaWordResult fa =
+          word_fa_stage(v[g.in0], v[g.in1], v[g.in2], w, em);
+      out.energy_ops_pj += fa.nor_energy_pj;
+      v[g.out_sum] = fa.sum;
+      v[g.out_carry] = fa.carry;
+    }
+  }
+
+  assert(!plan.final_ids.empty() && plan.final_ids.size() <= 2);
+  out.x = v[plan.final_ids[0]];
+  out.x_width = plan.operands[plan.final_ids[0]].width;
+  if (plan.final_ids.size() == 2) {
+    out.y = v[plan.final_ids[1]];
+    out.y_width = plan.operands[plan.final_ids[1]].width;
+  }
+  return out;
+}
+
+PpgResult word_ppg(std::uint64_t m1, std::uint64_t m2, unsigned n,
+                   unsigned mask_bits, const device::EnergyModel& em) {
+  assert(n >= 1 && n <= 32);
+  PpgResult out;
+  m1 &= low_mask(n);
+  m2 &= low_mask(n);
+  const unsigned first_bit = std::min(mask_bits, n);
+  const std::uint64_t effective_m2 = m2 & ~low_mask(first_bit);
+
+  // Bit-wise sense-amp scan of the (unmasked part of the) multiplier.
+  out.energy_ops_pj +=
+      static_cast<double>(n - first_bit) * em.e_read_pj;
+
+  const int p = popcount(effective_m2);
+  if (p == 0) return out;  // Nothing to copy; zero partials, zero cycles.
+
+  const int m1_ones = popcount(m1);
+  const int m1_zeros = static_cast<int>(n) - m1_ones;
+
+  // Shared inverted image of the multiplicand: one NOT cycle over n lanes
+  // (scratch init overlaps the SA scan). Result ~m1 switches where m1 is 1.
+  out.cycles += 1;
+  out.energy_ops_pj += static_cast<double>(n) * em.e_init_pj;
+  out.energy_ops_pj += static_cast<double>(m1_ones) * em.e_input_on_pj +
+                       static_cast<double>(m1_zeros) * em.e_input_off_pj +
+                       static_cast<double>(m1_ones) * em.e_switch_pj;
+
+  // Each set multiplier bit: one copy cycle (NOT of the inverted image
+  // routed through the interconnect with shift j into the processing
+  // block). Destination init overlaps.
+  for (unsigned j = first_bit; j < n; ++j) {
+    if (bit(effective_m2, j) == 0) continue;
+    out.cycles += 1;
+    out.energy_ops_pj += static_cast<double>(n) * em.e_init_pj;
+    // Inputs are the inverted word: ones where m1 is 0.
+    out.energy_ops_pj += static_cast<double>(m1_zeros) * em.e_input_on_pj +
+                         static_cast<double>(m1_ones) * em.e_input_off_pj +
+                         static_cast<double>(m1_zeros) * em.e_switch_pj;
+    out.energy_ops_pj += static_cast<double>(n) * em.e_interconnect_bit_pj;
+    out.partials.push_back(m1 << j);
+    out.widths.push_back(n + j);
+  }
+  return out;
+}
+
+std::uint64_t approximate_add_value(std::uint64_t x, std::uint64_t y,
+                                    unsigned width, unsigned relax_m) noexcept {
+  assert(width >= 1 && width <= 64);
+  const unsigned m = relax_m > width ? width : relax_m;
+  std::uint64_t carry = 0;
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < m; ++i) {
+    const std::uint64_t cout = util::maj3(bit(x, i), bit(y, i), carry);
+    // Approximated sum: complement of the exact carry-out.
+    value |= (cout ^ 1u) << i;
+    carry = cout;
+  }
+  for (unsigned i = m; i < width; ++i) {
+    const std::uint64_t a = bit(x, i), b = bit(y, i);
+    value |= util::sum3(a, b, carry) << i;
+    carry = util::maj3(a, b, carry);
+  }
+  if (width < 64) value |= carry << width;
+  return value;
+}
+
+WordUnitResult word_final_add(std::uint64_t x, std::uint64_t y, unsigned width,
+                              unsigned relax_m,
+                              const device::EnergyModel& em) {
+  assert(width >= 1 && width <= 64);
+  const unsigned m = relax_m > width ? width : relax_m;
+  WordUnitResult out;
+  std::uint64_t carry = 0;
+  std::uint64_t value = 0;
+  std::uint64_t relaxed_carries = 0;  // c_1..c_m, for the trailing invert.
+
+  // Relaxed low bits: exact carries from the SA majority (1 cycle) written
+  // to the next column (1 cycle); sums deferred to the invert cycle.
+  for (unsigned i = 0; i < m; ++i) {
+    const std::uint64_t cout = util::maj3(bit(x, i), bit(y, i), carry);
+    out.cycles += 2;
+    out.energy_ops_pj += em.e_maj_pj + em.write_energy_pj(cout != 0);
+    relaxed_carries |= cout << i;
+    carry = cout;
+  }
+
+  // Exact high bits: one 13-cycle MAGIC full add per bit (per-bit init is
+  // not shared here because the carry chain serializes the bits; this is
+  // the paper's 13*k accounting for the final product generation).
+  for (unsigned i = m; i < width; ++i) {
+    const FaBitResult fa = word_fa_bit(bit(x, i), bit(y, i), carry, em);
+    out.cycles += 13;
+    out.energy_ops_pj += 12.0 * em.e_init_pj + fa.nor_energy_pj;
+    value |= fa.sum << i;
+    carry = fa.carry;
+  }
+
+  // Trailing parallel invert producing all relaxed sum bits at once. The
+  // carry cells sit one column left of the sum cells, so the read path goes
+  // through the barrel shifter (shift -1), charged per bit.
+  if (m > 0) {
+    out.cycles += 1;
+    out.energy_ops_pj += static_cast<double>(m) * em.e_init_pj;
+    out.energy_ops_pj += static_cast<double>(m) * em.e_interconnect_bit_pj;
+    const int ones = popcount(relaxed_carries);
+    const int zeros = static_cast<int>(m) - ones;
+    // NOT lanes: input is the stored carry, result switches where carry=1.
+    out.energy_ops_pj += static_cast<double>(ones) * em.e_input_on_pj +
+                         static_cast<double>(zeros) * em.e_input_off_pj +
+                         static_cast<double>(ones) * em.e_switch_pj;
+    value |= (~relaxed_carries & low_mask(m));
+  }
+
+  if (width < 64) value |= carry << width;
+  out.value = value;
+  assert(out.value == approximate_add_value(x, y, width, relax_m));
+  return out;
+}
+
+}  // namespace apim::arith

@@ -1,0 +1,129 @@
+// Word-level "fast functional" models of the APIM in-memory arithmetic.
+//
+// These functions reproduce, on 64-bit words, exactly what the bit-level
+// MAGIC engine does cell by cell: the same 12-step NOR schedule
+// (fa_schedule.hpp), the same initialization batches, the same
+// sense-amplifier events and the same interconnect crossings — so cycles
+// and energy come out *identical* to the engine, not approximately equal.
+// Property tests (tests/arith_equivalence_test.cpp) enforce this bit for
+// bit over randomized operands. App-level workloads run on these models;
+// the engine exists to validate them and to ground the microbenchmarks.
+//
+// Accounting convention: `energy_ops_pj` excludes the per-cycle controller
+// overhead, mirroring MagicEngine::stats().energy_ops_pj. Callers add
+// `cycles * EnergyModel::e_cycle_overhead_pj` for totals (see
+// total_energy_pj below).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arith/tree_plan.hpp"
+#include "device/energy_model.hpp"
+#include "util/units.hpp"
+
+namespace apim::arith {
+
+/// Common result of a word-level unit: the computed value plus the cost the
+/// equivalent in-memory execution would incur.
+struct WordUnitResult {
+  std::uint64_t value = 0;
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+};
+
+/// Total energy including the per-cycle controller/decoder overhead.
+[[nodiscard]] inline double total_energy_pj(const WordUnitResult& r,
+                                            const device::EnergyModel& em) {
+  return r.energy_ops_pj +
+         static_cast<double>(r.cycles) * em.e_cycle_overhead_pj;
+}
+
+// -- 1-bit and word-parallel full-adder building blocks ----------------------
+
+/// Evaluate the 12-step schedule on one bit triple. Returns sum, carry and
+/// the NOR energy of the 12 evaluations (init energy not included).
+struct FaBitResult {
+  std::uint64_t sum = 0;
+  std::uint64_t carry = 0;
+  double nor_energy_pj = 0.0;
+};
+[[nodiscard]] FaBitResult word_fa_bit(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t c,
+                                      const device::EnergyModel& em);
+
+/// Evaluate the schedule bit-parallel over `width` lanes (one carry-save
+/// 3:2 stage). The returned carry word already includes the <<1 alignment
+/// the hardware applies through the interconnect. NOR energy only.
+struct FaWordResult {
+  std::uint64_t sum = 0;
+  std::uint64_t carry = 0;  ///< Aligned: carry into bit i+1 is bit i+1 here.
+  double nor_energy_pj = 0.0;
+};
+[[nodiscard]] FaWordResult word_fa_stage(std::uint64_t a, std::uint64_t b,
+                                         std::uint64_t c, unsigned width,
+                                         const device::EnergyModel& em);
+
+// -- Serial (ripple) adder: the Talati-style 12N+1 baseline inside APIM ------
+
+/// Add two n-bit numbers with the serial MAGIC adder: 12n+1 cycles.
+/// Result has n+1 meaningful bits (carry out included).
+[[nodiscard]] WordUnitResult word_serial_add(std::uint64_t a, std::uint64_t b,
+                                             unsigned n,
+                                             const device::EnergyModel& em);
+
+// -- Wallace-tree reduction ---------------------------------------------------
+
+/// Outcome of reducing M operands to two with the planned 3:2 tree.
+struct TreeReduceResult {
+  std::uint64_t x = 0;  ///< First remaining addend (plan.final_ids[0]).
+  std::uint64_t y = 0;  ///< Second remaining addend (0 when only one left).
+  unsigned x_width = 0;
+  unsigned y_width = 0;
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+};
+/// `values[i]` must correspond to `plan.operands[i]` for the initial ids.
+[[nodiscard]] TreeReduceResult word_tree_reduce(
+    std::span<const std::uint64_t> values, const TreePlan& plan,
+    const device::EnergyModel& em);
+
+// -- Partial-product generation ----------------------------------------------
+
+/// Sense-amp driven partial-product generation (paper Section 3.3):
+/// read the multiplier bit-wise; for every '1' bit j, copy-shift the
+/// multiplicand by j into the processing block (copy = NOT of a shared
+/// inverted image; 1 + popcount cycles in total).
+struct PpgResult {
+  std::vector<std::uint64_t> partials;  ///< m1 << j for each set bit j.
+  std::vector<unsigned> widths;         ///< n + j for each partial.
+  util::Cycles cycles = 0;
+  double energy_ops_pj = 0.0;
+};
+/// `mask_bits` low multiplier bits are skipped entirely (first-stage
+/// approximation): not read, not copied.
+[[nodiscard]] PpgResult word_ppg(std::uint64_t m1, std::uint64_t m2,
+                                 unsigned n, unsigned mask_bits,
+                                 const device::EnergyModel& em);
+
+// -- Final-stage addition (exact / relaxed) ----------------------------------
+
+/// Add two `width`-bit numbers in the final-product-generation style:
+/// the top k = width - m bits via per-bit MAGIC full adds (13 cycles/bit),
+/// the low m bits with exact SA-majority carries (2 cycles/bit) and
+/// approximated sums S = NOT(Cout) (one shared trailing cycle).
+/// Cycles: 13k + 2m + 1 (the +1 only when m > 0). Result includes the
+/// carry out at bit `width`.
+[[nodiscard]] WordUnitResult word_final_add(std::uint64_t x, std::uint64_t y,
+                                            unsigned width, unsigned relax_m,
+                                            const device::EnergyModel& em);
+
+/// Reference semantics of the relaxed addition (value only, no costs);
+/// used by tests and by error-bound analysis.
+[[nodiscard]] std::uint64_t approximate_add_value(std::uint64_t x,
+                                                  std::uint64_t y,
+                                                  unsigned width,
+                                                  unsigned relax_m) noexcept;
+
+}  // namespace apim::arith

@@ -1,0 +1,50 @@
+#include "baseline/gpu_model.hpp"
+
+#include <cassert>
+
+namespace apim::baseline {
+
+double GpuModel::miss_rate(double dataset_bytes) const noexcept {
+  assert(dataset_bytes >= 0.0);
+  return dataset_bytes / (dataset_bytes + params_.cache_capacity_bytes);
+}
+
+double calibrate_traffic_for_edp_ratio(const GpuModel& gpu,
+                                       double ops_per_element,
+                                       double apim_edp_per_element_js,
+                                       double target_ratio,
+                                       double dataset_bytes) {
+  assert(apim_edp_per_element_js > 0.0 && target_ratio > 0.0);
+  const double target_edp = target_ratio * apim_edp_per_element_js;
+  const auto edp_at = [&](double traffic) {
+    const GpuAppProfile profile{ops_per_element, traffic};
+    return gpu.run(1.0, profile, dataset_bytes).edp_js();
+  };
+  double lo = 0.0;
+  double hi = 1e7;
+  if (edp_at(hi) < target_edp) return hi;  // Saturate: target unreachable.
+  if (edp_at(lo) > target_edp) return lo;  // Compute cost alone exceeds it.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (edp_at(mid) < target_edp ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+GpuCost GpuModel::run(double elements, const GpuAppProfile& profile,
+                      double dataset_bytes) const noexcept {
+  assert(elements >= 0.0);
+  const double ops = elements * profile.ops_per_element;
+  const double traffic =
+      elements * profile.traffic_bytes_per_element * miss_rate(dataset_bytes);
+
+  GpuCost cost;
+  cost.seconds = ops / params_.effective_ops_per_s +
+                 traffic / params_.dram_bandwidth_bytes_per_s;
+  cost.energy_pj = ops * params_.compute_energy_per_op_pj +
+                   traffic * params_.dram_energy_per_byte_pj +
+                   params_.static_power_w * cost.seconds * 1e12;
+  return cost;
+}
+
+}  // namespace apim::baseline

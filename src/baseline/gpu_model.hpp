@@ -1,0 +1,93 @@
+// Analytic GPU cost model — the comparison baseline of Figures 5 and
+// Table 1.
+//
+// The paper measures an AMD Radeon R9 390 with a wall-power meter and a
+// cycle-accurate simulator (multi2sim); neither is available offline, so we
+// substitute a structural analytic model with the two regimes the paper
+// describes (Section 4.2):
+//   * small datasets: cost dominated by compute — the GPU's CMOS FPUs are
+//     much faster than memory-resident MAGIC arithmetic, so the GPU wins;
+//   * large datasets: cost dominated by data movement — cache misses send
+//     traffic to DRAM, and time/energy follow the miss curve, which is
+//     where APIM's in-place computation wins.
+// Time:   t = ops / throughput + miss(S) * traffic / bandwidth
+// Energy: E = ops * e_op + miss(S) * traffic * e_byte + P_static * t
+// miss(S) = S / (S + C): the stream-reuse fraction still served on chip.
+//
+// Default constants are calibrated so the 1 GB dataset reproduces the
+// paper's headline ratios (28x energy, 4.8x speedup vs exact APIM) with
+// the crossover in the tens-of-MB region; the SHAPE (who wins where) comes
+// from the model structure, not from the constants (DESIGN.md).
+#pragma once
+
+namespace apim::baseline {
+
+struct GpuParams {
+  /// Effective arithmetic throughput on these memory-heavy OpenCL kernels
+  /// (far below peak FLOPs; calibrated).
+  double effective_ops_per_s = 100e9;
+  /// Dynamic energy per arithmetic op, board-level (calibrated).
+  double compute_energy_per_op_pj = 200.0;
+  /// Effective on-chip reuse capacity driving the miss curve.
+  double cache_capacity_bytes = 150e6;
+  /// Sustained DRAM bandwidth under the kernels' access patterns.
+  double dram_bandwidth_bytes_per_s = 50e9;
+  /// DRAM + IO energy per byte moved.
+  double dram_energy_per_byte_pj = 80.0;
+  /// Static/idle board power attributed to the run.
+  double static_power_w = 35.0;
+};
+
+/// Per-application workload intensity as seen by the GPU.
+struct GpuAppProfile {
+  double ops_per_element = 2.0;  ///< Arithmetic ops per 32-bit element.
+  /// DRAM bytes per element when the dataset does not fit on chip
+  /// (includes burst/row-activation overheads).
+  double traffic_bytes_per_element = 96.0;
+};
+
+struct GpuCost {
+  double seconds = 0.0;
+  double energy_pj = 0.0;
+
+  [[nodiscard]] double edp_js() const noexcept {
+    return energy_pj * 1e-12 * seconds;
+  }
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const GpuParams& params() const noexcept { return params_; }
+
+  /// Fraction of the dataset's accesses that miss on chip.
+  [[nodiscard]] double miss_rate(double dataset_bytes) const noexcept;
+
+  /// Cost of processing `elements` data elements of a `dataset_bytes`-sized
+  /// working set with the given per-element intensity.
+  [[nodiscard]] GpuCost run(double elements, const GpuAppProfile& profile,
+                            double dataset_bytes) const noexcept;
+
+ private:
+  GpuParams params_;
+};
+
+/// Solve for the per-element DRAM traffic that makes the GPU/APIM EDP
+/// ratio equal `target_ratio` at `dataset_bytes`.
+///
+/// This is the single per-application calibration knob of the whole
+/// comparison (DESIGN.md substitution table): the paper measured its GPU
+/// with a power meter; we anchor each application's Table-1 exact-mode
+/// (m = 0) EDP-improvement figure by fitting the one GPU-side parameter we
+/// cannot derive — how many DRAM bytes each element effectively costs —
+/// and everything else (the m > 0 columns, the Figure 5 sweep shapes)
+/// follows from the models. EDP is monotone increasing in traffic, so a
+/// bisection on [0, 1e7] suffices. `apim_edp_per_element_js` is the APIM
+/// side's per-element energy-delay product in J*s.
+[[nodiscard]] double calibrate_traffic_for_edp_ratio(
+    const GpuModel& gpu, double ops_per_element,
+    double apim_edp_per_element_js, double target_ratio,
+    double dataset_bytes);
+
+}  // namespace apim::baseline

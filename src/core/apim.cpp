@@ -1,0 +1,223 @@
+#include "core/apim.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include <vector>
+
+#include "arith/inmemory_units.hpp"
+#include "arith/latency_model.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::core {
+
+using util::low_mask;
+
+ApimDevice::ApimDevice(ApimConfig config) : config_(config) {
+  assert(config_.word_bits >= 4 && config_.word_bits <= 32);
+  assert(config_.parallel_lanes >= 1);
+}
+
+std::uint64_t ApimDevice::clamp_magnitude(std::uint64_t m) const noexcept {
+  const std::uint64_t cap = low_mask(config_.word_bits);
+  return m > cap ? cap : m;
+}
+
+std::uint64_t ApimDevice::mul_magnitude(std::uint64_t a, std::uint64_t b) {
+  ++stats_.multiplies;
+  if (config_.backend == Backend::kBitLevel) {
+    const arith::InMemoryResult r = arith::inmemory_multiply(
+        a, b, config_.word_bits, config_.approx, config_.energy);
+    stats_.cycles += r.cycles;
+    stats_.energy_ops_pj += r.energy_ops_pj;
+    return r.value;
+  }
+  const arith::MultiplyOutcome r =
+      arith::fast_multiply(a, b, config_.word_bits, config_.approx,
+                           config_.energy);
+  stats_.cycles += r.cycles;
+  stats_.energy_ops_pj += r.energy_ops_pj;
+  stats_.partial_products += r.partial_count;
+  return r.product;
+}
+
+namespace {
+/// The adder relax setting scales with adder width: standalone word adds
+/// relax the same fraction of their N bits as the multiplier's final stage
+/// relaxes of its 2N (see the class comment).
+unsigned adder_relax(const arith::ApproxConfig& approx,
+                     unsigned word_bits) noexcept {
+  const unsigned m_add = approx.relax_bits / 2;
+  return m_add > word_bits ? word_bits : m_add;
+}
+}  // namespace
+
+std::uint64_t ApimDevice::add_magnitude(std::uint64_t a, std::uint64_t b) {
+  ++stats_.additions;
+  const unsigned requested = adder_relax(config_.approx, config_.word_bits);
+  if (config_.backend == Backend::kBitLevel) {
+    const unsigned relax =
+        arith::profitable_add_relax(config_.word_bits, requested);
+    const arith::InMemoryResult r =
+        relax == 0 ? arith::inmemory_serial_add(a, b, config_.word_bits,
+                                                config_.energy)
+                   : arith::inmemory_relaxed_add(a, b, config_.word_bits,
+                                                 relax, config_.energy);
+    stats_.cycles += r.cycles;
+    stats_.energy_ops_pj += r.energy_ops_pj;
+    return r.value;
+  }
+  const arith::AddOutcome r =
+      arith::fast_add(a, b, config_.word_bits, requested, config_.energy);
+  stats_.cycles += r.cycles;
+  stats_.energy_ops_pj += r.energy_ops_pj;
+  return r.sum;
+}
+
+std::int64_t ApimDevice::mul(std::int64_t a, std::int64_t b,
+                             util::FixedPointFormat fmt) {
+  const bool negative = (a < 0) != (b < 0);
+  const auto ma = clamp_magnitude(static_cast<std::uint64_t>(std::llabs(a)));
+  const auto mb = clamp_magnitude(static_cast<std::uint64_t>(std::llabs(b)));
+  const std::uint64_t product = mul_magnitude(ma, mb);
+  const std::uint64_t rescaled = util::rescale_product(product, fmt);
+  const auto mag = static_cast<std::int64_t>(rescaled);
+  return negative ? -mag : mag;
+}
+
+std::int64_t ApimDevice::mul_int(std::int64_t a, std::int64_t b) {
+  const bool negative = (a < 0) != (b < 0);
+  const auto ma = clamp_magnitude(static_cast<std::uint64_t>(std::llabs(a)));
+  const auto mb = clamp_magnitude(static_cast<std::uint64_t>(std::llabs(b)));
+  const auto mag = static_cast<std::int64_t>(mul_magnitude(ma, mb));
+  return negative ? -mag : mag;
+}
+
+std::int64_t ApimDevice::add(std::int64_t a, std::int64_t b) {
+  if ((a >= 0) == (b >= 0)) {
+    // Same sign: magnitudes add; relaxation applies (Section 3.4).
+    const bool negative = a < 0;
+    const auto ma = clamp_magnitude(static_cast<std::uint64_t>(std::llabs(a)));
+    const auto mb = clamp_magnitude(static_cast<std::uint64_t>(std::llabs(b)));
+    const auto mag = static_cast<std::int64_t>(add_magnitude(ma, mb));
+    return negative ? -mag : mag;
+  }
+  // Mixed sign: exact subtraction, charged at the adder's cost (the borrow
+  // chain uses the same exact majority path; see file comment). The issued
+  // add's value is discarded; only its cost is kept.
+  const std::uint64_t mask = low_mask(config_.word_bits);
+  (void)add_magnitude(static_cast<std::uint64_t>(std::llabs(a)) & mask,
+                      static_cast<std::uint64_t>(std::llabs(b)) & mask);
+  return a + b;
+}
+
+std::int64_t ApimDevice::add_wide(std::int64_t a, std::int64_t b) {
+  // Two chained word additions over the low/high halves; the value is
+  // exact (the cross-word carry rides the exact majority chain).
+  const std::uint64_t mask = low_mask(config_.word_bits);
+  const auto ma = static_cast<std::uint64_t>(std::llabs(a));
+  const auto mb = static_cast<std::uint64_t>(std::llabs(b));
+  (void)add_magnitude(ma & mask, mb & mask);
+  (void)add_magnitude((ma >> config_.word_bits) & mask,
+                      (mb >> config_.word_bits) & mask);
+  return a + b;
+}
+
+std::int64_t ApimDevice::mac_int(std::int64_t acc, std::int64_t a,
+                                 std::int64_t b) {
+  return add(acc, mul_int(a, b));
+}
+
+std::int64_t ApimDevice::dot_int(std::span<const std::int64_t> a,
+                                 std::span<const std::int64_t> b) {
+  assert(a.size() == b.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = mac_int(acc, a[i], b[i]);
+  return acc;
+}
+
+std::int64_t ApimDevice::dot_fixed_tree(std::span<const std::int64_t> a,
+                                        std::span<const std::int64_t> b,
+                                        util::FixedPointFormat fmt) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0;
+
+  std::vector<std::uint64_t> positive, negative;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t p = mul(a[i], b[i], fmt);
+    if (p >= 0) {
+      if (p != 0) positive.push_back(static_cast<std::uint64_t>(p));
+    } else {
+      negative.push_back(static_cast<std::uint64_t>(-p));
+    }
+  }
+
+  const auto reduce = [&](const std::vector<std::uint64_t>& values)
+      -> std::uint64_t {
+    if (values.empty()) return 0;
+    if (values.size() == 1) return values[0];
+    const std::vector<unsigned> widths(values.size(), config_.word_bits);
+    const unsigned cap = std::min<unsigned>(
+        63, config_.word_bits +
+                util::bit_width(
+                    static_cast<std::uint64_t>(values.size()) - 1));
+    const arith::AddOutcome r =
+        arith::fast_tree_add(values, widths, cap, config_.energy);
+    stats_.additions += values.size() - 1;  // Logical adds performed.
+    stats_.cycles += r.cycles;
+    stats_.energy_ops_pj += r.energy_ops_pj;
+    return r.sum;
+  };
+
+  const std::uint64_t pos_sum = reduce(positive);
+  const std::uint64_t neg_sum = reduce(negative);
+  if (!positive.empty() && !negative.empty()) {
+    // Final signed combination: one word-serial subtraction.
+    const arith::AddOutcome fin = arith::fast_add(
+        pos_sum & low_mask(config_.word_bits),
+        neg_sum & low_mask(config_.word_bits), config_.word_bits, 0,
+        config_.energy);
+    ++stats_.additions;
+    stats_.cycles += fin.cycles;
+    stats_.energy_ops_pj += fin.energy_ops_pj;
+  }
+  return static_cast<std::int64_t>(pos_sum) -
+         static_cast<std::int64_t>(neg_sum);
+}
+
+void ApimDevice::parallel_region_end(util::Cycles begin_cycles,
+                                     std::size_t ways) {
+  assert(ways >= 1);
+  assert(stats_.cycles >= begin_cycles);
+  const util::Cycles issued = stats_.cycles - begin_cycles;
+  const util::Cycles shared =
+      (issued + static_cast<util::Cycles>(ways) - 1) /
+      static_cast<util::Cycles>(ways);
+  stats_.cycles = begin_cycles + shared;
+}
+
+void ApimDevice::charge_data_load(std::uint64_t words) {
+  // One wordline write per word (all bitline drivers fire together), with
+  // an expected half of the bits actually switching.
+  stats_.cycles += words;
+  stats_.energy_ops_pj +=
+      static_cast<double>(words) * static_cast<double>(config_.word_bits) *
+      (config_.energy.e_write_driver_pj + 0.5 * config_.energy.e_switch_pj);
+}
+
+double ApimDevice::energy_pj() const noexcept {
+  return stats_.energy_ops_pj +
+         static_cast<double>(stats_.cycles) *
+             config_.energy.e_cycle_overhead_pj;
+}
+
+double ApimDevice::elapsed_seconds() const noexcept {
+  const double lane_seconds = util::cycles_to_seconds(stats_.cycles);
+  return lane_seconds / static_cast<double>(config_.parallel_lanes);
+}
+
+double ApimDevice::edp_js() const noexcept {
+  return energy_pj() * 1e-12 * elapsed_seconds();
+}
+
+}  // namespace apim::core

@@ -1,0 +1,136 @@
+// ApimDevice: the public compute API of the APIM architecture.
+//
+// This is what applications program against. Values are signed fixed-point
+// raws (sign-magnitude internally: the in-memory multiplier operates on
+// magnitudes and the sign is resolved by XOR at the periphery). Every
+// operation runs through the validated word-level models of the in-memory
+// schedules, so the device accumulates exactly the cycles and energy the
+// bit-level MAGIC engine would measure (tests/arith_equivalence_test.cpp).
+//
+// Semantics of approximation (Section 3.4):
+//  * multiplies honour both mask_bits (first-stage) and relax_bits
+//    (last-stage): `relax_bits` = the paper's m, relaxing the low m bits
+//    of the 2N-bit final product adder;
+//  * same-sign additions use the serial adder when exact; when
+//    relax_bits > 0 they use the SA-majority relaxed adder with
+//    m_add = relax_bits / 2 — the same *fraction* of the N-bit adder as m
+//    is of the 2N-bit product adder (the paper applies the technique to
+//    addition in general, Figure 6's "99.9% accuracy" series);
+//  * mixed-sign additions (subtractions) are computed exactly and charged
+//    at the same adder cost — the borrow chain is carried by the same
+//    exact majority hardware, so relaxation error is injected only on the
+//    sum path (documented design decision; conservative on error);
+//  * add_wide() handles double-width values (e.g. sums of 2N-bit squares)
+//    as a carry-chained pair of word additions: exact value, twice the
+//    adder cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arith/fast_units.hpp"
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "util/fixed_point.hpp"
+
+namespace apim::core {
+
+class ApimDevice {
+ public:
+  explicit ApimDevice(ApimConfig config = {});
+
+  [[nodiscard]] const ApimConfig& config() const noexcept { return config_; }
+
+  // -- Approximation knobs (the adaptive runtime uses these) ---------------
+  void set_relax_bits(unsigned m) noexcept { config_.approx.relax_bits = m; }
+  [[nodiscard]] unsigned relax_bits() const noexcept {
+    return config_.approx.relax_bits;
+  }
+  void set_mask_bits(unsigned b) noexcept { config_.approx.mask_bits = b; }
+  [[nodiscard]] unsigned mask_bits() const noexcept {
+    return config_.approx.mask_bits;
+  }
+
+  // -- Raw magnitude operations --------------------------------------------
+
+  /// word_bits x word_bits magnitude multiply; full 2N-bit product.
+  [[nodiscard]] std::uint64_t mul_magnitude(std::uint64_t a, std::uint64_t b);
+
+  /// word_bits-wide magnitude addition (carry out preserved).
+  [[nodiscard]] std::uint64_t add_magnitude(std::uint64_t a, std::uint64_t b);
+
+  // -- Signed fixed-point operations ----------------------------------------
+
+  /// Signed multiply of two raws in format `fmt`, rescaled back to `fmt`
+  /// (product >> frac_bits) with saturation.
+  [[nodiscard]] std::int64_t mul(std::int64_t a, std::int64_t b,
+                                 util::FixedPointFormat fmt);
+
+  /// Signed integer multiply (no rescale): for integer-scaled kernels.
+  [[nodiscard]] std::int64_t mul_int(std::int64_t a, std::int64_t b);
+
+  /// Signed addition.
+  [[nodiscard]] std::int64_t add(std::int64_t a, std::int64_t b);
+
+  /// Double-width signed addition (for sums of full products): exact
+  /// value, charged as two chained word additions.
+  [[nodiscard]] std::int64_t add_wide(std::int64_t a, std::int64_t b);
+
+  /// acc + a*b (integer scaling), the kernel workhorse.
+  [[nodiscard]] std::int64_t mac_int(std::int64_t acc, std::int64_t a,
+                                     std::int64_t b);
+
+  /// Dot product over integer-scaled spans (serial MAC chain).
+  [[nodiscard]] std::int64_t dot_int(std::span<const std::int64_t> a,
+                                     std::span<const std::int64_t> b);
+
+  /// Dot product with the accumulation done the APIM way: all products
+  /// are generated, then reduced with the Wallace 3:2 tree (13 cycles per
+  /// stage) instead of a serial MAC chain — the same structure the
+  /// multiplier uses internally (Section 3.2 applies it to any multi-
+  /// operand addition). Products are rescaled to `fmt`; positive and
+  /// negative products reduce in separate trees and the final subtraction
+  /// is one word addition. Exact accumulation; multiplies honour the
+  /// device's approximation setting.
+  [[nodiscard]] std::int64_t dot_fixed_tree(std::span<const std::int64_t> a,
+                                            std::span<const std::int64_t> b,
+                                            util::FixedPointFormat fmt);
+
+  /// Row-parallel issue window. Operations issued between the snapshot and
+  /// `parallel_region_end` are declared to have shared crossbar passes
+  /// across `ways` independent lanes (disjoint row groups, same schedule —
+  /// see arith/vector_unit.hpp): the region's LATENCY divides by `ways`
+  /// while its energy stands. The balanced-load idealization is accurate to
+  /// a few percent at realistic batch sizes (tests/batch_test.cpp).
+  [[nodiscard]] util::Cycles parallel_region_begin() const noexcept {
+    return stats_.cycles;
+  }
+  void parallel_region_end(util::Cycles begin_cycles, std::size_t ways);
+
+  /// Charge the cost of loading `words` data words into the crossbar's
+  /// data blocks (one driver-write cycle per word row, write energy per
+  /// bit). The paper preloads all data ("to avoid the disk communication
+  /// ... all the data used in the experiments is preloaded", Section 4.1),
+  /// so the standard benches do NOT call this; the load-cost ablation
+  /// quantifies what preloading hides.
+  void charge_data_load(std::uint64_t words);
+
+  // -- Accounting -----------------------------------------------------------
+  [[nodiscard]] const ExecStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// Total energy including per-cycle controller overhead, pJ.
+  [[nodiscard]] double energy_pj() const noexcept;
+  /// Wall time with `parallel_lanes` pipelines running the issued ops.
+  [[nodiscard]] double elapsed_seconds() const noexcept;
+  /// Energy-delay product, J*s.
+  [[nodiscard]] double edp_js() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t clamp_magnitude(std::uint64_t m) const noexcept;
+
+  ApimConfig config_;
+  ExecStats stats_;
+};
+
+}  // namespace apim::core

@@ -1,0 +1,79 @@
+#include "core/area_model.hpp"
+
+#include "crossbar/decoder.hpp"
+
+namespace apim::core {
+
+using crossbar::Decoder;
+
+namespace {
+
+double f2_to_mm2(double f2, double feature_nm) {
+  const double f_mm = feature_nm * 1e-6;  // nm -> mm.
+  return f2 * f_mm * f_mm;
+}
+
+AreaReport tile_area_impl(const ChipGeometry& g, const AreaParams& p,
+                          std::size_t blocks, bool with_interconnect) {
+  AreaReport report;
+  const double cells = static_cast<double>(blocks) *
+                       static_cast<double>(g.rows) *
+                       static_cast<double>(g.cols);
+  report.cell_area_mm2 = f2_to_mm2(cells * p.cell_f2, p.feature_nm);
+
+  // One shared row + column decoder pair per tile (the paper's argument).
+  const Decoder row_dec(g.rows);
+  const Decoder col_dec(g.cols);
+  const double decoder_tr = static_cast<double>(
+      row_dec.estimated_transistors() + col_dec.estimated_transistors());
+  report.decoder_area_mm2 =
+      f2_to_mm2(decoder_tr * p.transistor_f2, p.feature_nm);
+
+  const double sa_tr = static_cast<double>(g.cols) *
+                       static_cast<double>(p.sense_amp_transistors);
+  report.sense_amp_area_mm2 =
+      f2_to_mm2(sa_tr * p.transistor_f2, p.feature_nm);
+
+  if (with_interconnect && blocks >= 2) {
+    const double ic_tr =
+        static_cast<double>(blocks - 1) * static_cast<double>(g.cols) *
+        static_cast<double>(p.interconnect_transistors_per_line);
+    report.interconnect_area_mm2 =
+        f2_to_mm2(ic_tr * p.transistor_f2, p.feature_nm);
+  }
+  return report;
+}
+
+AreaReport scale(AreaReport tile, double tiles) {
+  tile.cell_area_mm2 *= tiles;
+  tile.decoder_area_mm2 *= tiles;
+  tile.sense_amp_area_mm2 *= tiles;
+  tile.interconnect_area_mm2 *= tiles;
+  return tile;
+}
+
+}  // namespace
+
+AreaReport tile_area(const ChipGeometry& geometry,
+                     const AreaParams& params) {
+  return tile_area_impl(geometry, params, geometry.blocks_per_tile,
+                        /*with_interconnect=*/true);
+}
+
+AreaReport chip_area(const ChipGeometry& geometry,
+                     const AreaParams& params) {
+  const double tiles = static_cast<double>(geometry.banks) *
+                       static_cast<double>(geometry.tiles_per_bank);
+  return scale(tile_area(geometry, params), tiles);
+}
+
+AreaReport plain_memory_area(const ChipGeometry& geometry,
+                             const AreaParams& params) {
+  const double tiles = static_cast<double>(geometry.banks) *
+                       static_cast<double>(geometry.tiles_per_bank);
+  return scale(tile_area_impl(geometry, params, 1,
+                              /*with_interconnect=*/false),
+               tiles);
+}
+
+}  // namespace apim::core

@@ -1,0 +1,65 @@
+// Silicon-area model for the APIM part at the paper's 45 nm node.
+//
+// Memristive crossbars are famously dense: a 1T1R (or crosspoint) cell
+// occupies a handful of F^2, while peripheral CMOS (decoders, drivers,
+// sense amplifiers, the barrel-shifter interconnects) is priced per
+// transistor. The paper argues area qualitatively (shared controllers vs
+// the PC-Adder's private ones); this model makes the argument quantitative
+// and lets the datasheet report a die-size estimate. Constants are typical
+// 45 nm figures and only matter for RELATIVE comparisons, like every other
+// area proxy in this repository.
+#pragma once
+
+#include <cstddef>
+
+#include "core/chip.hpp"
+
+namespace apim::core {
+
+struct AreaParams {
+  double feature_nm = 45.0;  ///< Process feature size F.
+  /// Crosspoint cell footprint in F^2 (4F^2 ideal; 12F^2 for 1T1R).
+  double cell_f2 = 12.0;
+  /// Average CMOS transistor footprint in F^2 (density-derived, includes
+  /// routing overhead).
+  double transistor_f2 = 160.0;
+  /// Sense amplifier cost, transistors per bitline.
+  std::size_t sense_amp_transistors = 20;
+  /// Barrel-shifter interconnect: pass transistors per bitline per
+  /// supported shift (paper Figure 3(a)).
+  std::size_t interconnect_transistors_per_line = 8;
+};
+
+struct AreaReport {
+  double cell_area_mm2 = 0.0;
+  double decoder_area_mm2 = 0.0;
+  double sense_amp_area_mm2 = 0.0;
+  double interconnect_area_mm2 = 0.0;
+
+  [[nodiscard]] double total_mm2() const noexcept {
+    return cell_area_mm2 + decoder_area_mm2 + sense_amp_area_mm2 +
+           interconnect_area_mm2;
+  }
+  /// Fraction of the die spent on CMOS periphery (vs memristor cells).
+  [[nodiscard]] double periphery_fraction() const noexcept {
+    const double total = total_mm2();
+    return total == 0.0 ? 0.0 : (total - cell_area_mm2) / total;
+  }
+};
+
+/// Area of one blocked-crossbar tile (all blocks, shared decoders, SAs on
+/// every bitline, one interconnect between adjacent blocks).
+[[nodiscard]] AreaReport tile_area(const ChipGeometry& geometry,
+                                   const AreaParams& params = {});
+
+/// Whole-chip area: tiles plus nothing else (bank-level routing is folded
+/// into the transistor footprint constant).
+[[nodiscard]] AreaReport chip_area(const ChipGeometry& geometry,
+                                   const AreaParams& params = {});
+
+/// Area of a plain memory of the same DATA capacity (one block per tile,
+/// no interconnects): the baseline for the PIM area overhead.
+[[nodiscard]] AreaReport plain_memory_area(const ChipGeometry& geometry,
+                                           const AreaParams& params = {});
+
+}  // namespace apim::core

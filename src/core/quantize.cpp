@@ -1,0 +1,58 @@
+#include "core/quantize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace apim::core {
+
+util::FixedPointFormat choose_format(double max_magnitude,
+                                     unsigned word_bits) {
+  assert(word_bits >= 2 && word_bits <= 32);
+  assert(max_magnitude >= 0.0);
+  // Integer bits needed for the magnitude (at least 1 so format math stays
+  // sane for sub-unit ranges is NOT forced: pure fractions get 0 integer
+  // bits and use the full word for fraction).
+  unsigned integer_bits = 0;
+  while (integer_bits < word_bits &&
+         max_magnitude >= static_cast<double>(1ull << integer_bits)) {
+    ++integer_bits;
+  }
+  return util::FixedPointFormat{integer_bits, word_bits - integer_bits};
+}
+
+std::vector<std::int64_t> quantize(std::span<const double> values,
+                                   util::FixedPointFormat fmt) {
+  std::vector<std::int64_t> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(util::to_fixed(v, fmt).signed_raw());
+  return out;
+}
+
+std::vector<double> dequantize(std::span<const std::int64_t> raws,
+                               util::FixedPointFormat fmt) {
+  std::vector<double> out;
+  out.reserve(raws.size());
+  for (std::int64_t r : raws)
+    out.push_back(util::from_fixed(util::fixed_from_raw(r, fmt), fmt));
+  return out;
+}
+
+double quantization_error_bound(util::FixedPointFormat fmt) {
+  return 0.5 / fmt.scale();
+}
+
+double relaxation_error_bound(double typical_magnitude,
+                              util::FixedPointFormat fmt,
+                              unsigned relax_bits) {
+  assert(typical_magnitude > 0.0);
+  const double raw_magnitude = typical_magnitude * fmt.scale();
+  const double product_magnitude = raw_magnitude * raw_magnitude;
+  if (product_magnitude <= 0.0) return 1.0;
+  const double absolute = std::pow(2.0, static_cast<double>(relax_bits));
+  return std::min(1e6, absolute / product_magnitude);
+}
+
+}  // namespace apim::core

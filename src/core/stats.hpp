@@ -1,0 +1,20 @@
+// Execution statistics accumulated by an ApimDevice.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace apim::core {
+
+struct ExecStats {
+  std::uint64_t multiplies = 0;
+  std::uint64_t additions = 0;
+  util::Cycles cycles = 0;         ///< Total lane-cycles issued.
+  double energy_ops_pj = 0.0;      ///< Micro-op energy (no cycle overhead).
+  std::uint64_t partial_products = 0;  ///< Generated across all multiplies.
+
+  void reset() { *this = ExecStats{}; }
+};
+
+}  // namespace apim::core

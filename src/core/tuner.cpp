@@ -1,0 +1,31 @@
+#include "core/tuner.hpp"
+
+#include <cassert>
+
+namespace apim::core {
+
+TunerResult AccuracyTuner::tune(
+    const std::function<double(unsigned)>& evaluate, double threshold) const {
+  assert(step_ > 0);
+  TunerResult result;
+  unsigned m = max_relax_;
+  for (;;) {
+    const double error = evaluate(m);
+    const bool acceptable = error <= threshold;
+    result.history.push_back(TunerStep{m, error, acceptable});
+    if (acceptable) {
+      result.relax_bits = m;
+      result.error = error;
+      result.met_qos = true;
+      return result;
+    }
+    if (m == 0) break;  // Even exact mode failed the QoS check.
+    m = (m > step_) ? m - step_ : 0;
+  }
+  result.relax_bits = 0;
+  result.error = result.history.back().error;
+  result.met_qos = false;
+  return result;
+}
+
+}  // namespace apim::core

@@ -1,0 +1,46 @@
+// Adaptive accuracy tuner (paper Section 4.1).
+//
+// "To find a proper level of accuracy, our framework computes APIM at the
+// maximum level of approximation (32 relax bits). In case of large
+// inaccuracy, it increases the level of accuracy in 4-bit steps until
+// ensuring the acceptable quality of service." The tuned value is computed
+// offline per application and applied at runtime when the application is
+// detected (Section 4.3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace apim::core {
+
+struct TunerStep {
+  unsigned relax_bits = 0;
+  double error = 0.0;  ///< Quality-loss metric at this setting.
+  bool acceptable = false;
+};
+
+struct TunerResult {
+  unsigned relax_bits = 0;  ///< Chosen setting (0 = exact fallback).
+  double error = 0.0;
+  bool met_qos = false;     ///< False only if even exact mode fails.
+  std::vector<TunerStep> history;
+};
+
+class AccuracyTuner {
+ public:
+  /// `max_relax` start point and `step` decrement, per the paper (32 / 4).
+  explicit AccuracyTuner(unsigned max_relax = 32, unsigned step = 4)
+      : max_relax_(max_relax), step_(step) {}
+
+  /// `evaluate(m)` must run the application at relax setting `m` and return
+  /// its quality-loss metric (lower is better, e.g. average relative error,
+  /// or a PSNR deficit). `threshold` is the largest acceptable loss.
+  [[nodiscard]] TunerResult tune(
+      const std::function<double(unsigned)>& evaluate, double threshold) const;
+
+ private:
+  unsigned max_relax_;
+  unsigned step_;
+};
+
+}  // namespace apim::core

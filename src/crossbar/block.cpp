@@ -1,0 +1,85 @@
+#include "crossbar/block.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace apim::crossbar {
+
+CrossbarBlock::CrossbarBlock(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      cells_(rows * cols, 0),
+      cell_switches_(rows * cols, 0) {
+  assert(rows > 0 && cols > 0);
+}
+
+std::size_t CrossbarBlock::index(std::size_t row, std::size_t col) const {
+  assert(row < rows_ && col < cols_);
+  return row * cols_ + col;
+}
+
+bool CrossbarBlock::get(std::size_t row, std::size_t col) const {
+  return cells_[index(row, col)] != 0;
+}
+
+bool CrossbarBlock::set(std::size_t row, std::size_t col, bool value) {
+  const std::size_t i = index(row, col);
+  ++writes_;
+  if (!faults_.empty() && faults_.count(i) != 0) {
+    // A stuck cell absorbs the write without changing state (and without
+    // switching energy: the filament no longer moves).
+    return false;
+  }
+  auto& cell = cells_[i];
+  const bool flipped = (cell != 0) != value;
+  cell = value ? 1 : 0;
+  if (flipped) {
+    ++switches_;
+    ++cell_switches_[i];
+  }
+  return flipped;
+}
+
+std::size_t CrossbarBlock::write_word(std::size_t row, std::size_t col0,
+                                      unsigned width, std::uint64_t value) {
+  assert(width <= 64);
+  assert(col0 + width <= cols_);
+  std::size_t flips = 0;
+  for (unsigned i = 0; i < width; ++i)
+    if (set(row, col0 + i, util::bit(value, i) != 0)) ++flips;
+  return flips;
+}
+
+std::uint32_t CrossbarBlock::cell_switches(std::size_t row,
+                                           std::size_t col) const {
+  return cell_switches_[index(row, col)];
+}
+
+std::uint32_t CrossbarBlock::max_cell_switches() const noexcept {
+  std::uint32_t worst = 0;
+  for (std::uint32_t s : cell_switches_) worst = std::max(worst, s);
+  return worst;
+}
+
+void CrossbarBlock::inject_stuck_at(std::size_t row, std::size_t col,
+                                    bool value) {
+  const std::size_t i = index(row, col);
+  cells_[i] = value ? 1 : 0;
+  faults_[i] = value ? 1 : 0;
+}
+
+void CrossbarBlock::clear_faults() { faults_.clear(); }
+
+std::uint64_t CrossbarBlock::read_word(std::size_t row, std::size_t col0,
+                                       unsigned width) const {
+  assert(width <= 64);
+  assert(col0 + width <= cols_);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i)
+    if (get(row, col0 + i)) value |= std::uint64_t{1} << i;
+  return value;
+}
+
+}  // namespace apim::crossbar

@@ -1,0 +1,79 @@
+// One block of the blocked crossbar: a dense array of memristive cells.
+//
+// The paper divides the crossbar into structurally identical data blocks
+// and processing blocks (Section 3.1); "the two blocks are structurally the
+// same and can be used interchangeably". A block stores one bit per cell
+// (logic '1' = RON, '0' = ROFF, the MAGIC convention) and tracks write and
+// switch counts for the energy/endurance statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace apim::crossbar {
+
+class CrossbarBlock {
+ public:
+  CrossbarBlock(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] bool get(std::size_t row, std::size_t col) const;
+
+  /// Writes a cell; returns true when the stored value actually changed
+  /// (i.e. the memristor switched), which is what costs energy.
+  bool set(std::size_t row, std::size_t col, bool value);
+
+  /// Write `width` bits of `value` little-endian: bit i of `value` lands at
+  /// column `col0 + i`. Returns the number of cells that switched.
+  std::size_t write_word(std::size_t row, std::size_t col0, unsigned width,
+                         std::uint64_t value);
+
+  /// Read `width` bits little-endian starting at `col0`.
+  [[nodiscard]] std::uint64_t read_word(std::size_t row, std::size_t col0,
+                                        unsigned width) const;
+
+  /// Lifetime counters.
+  [[nodiscard]] std::uint64_t total_writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t total_switches() const noexcept {
+    return switches_;
+  }
+
+  // -- Endurance accounting -------------------------------------------------
+  // Memristor cells wear out by switching; the per-cell switch counters
+  // feed the endurance analysis (device/endurance.hpp).
+
+  /// Switch count of one cell.
+  [[nodiscard]] std::uint32_t cell_switches(std::size_t row,
+                                            std::size_t col) const;
+  /// Largest per-cell switch count in the block (the wear hotspot).
+  [[nodiscard]] std::uint32_t max_cell_switches() const noexcept;
+
+  // -- Fault injection --------------------------------------------------
+  // Memristive arrays ship with stuck-at defects; injecting them lets the
+  // test suite measure how the arithmetic degrades (tests/fault_*).
+
+  /// Force a cell to permanently read `value`; writes to it are ignored.
+  void inject_stuck_at(std::size_t row, std::size_t col, bool value);
+  /// Remove all injected faults (stuck values persist as normal state).
+  void clear_faults();
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return faults_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint8_t> cells_;  // One byte per cell: simple and fast.
+  std::vector<std::uint32_t> cell_switches_;
+  std::unordered_map<std::size_t, std::uint8_t> faults_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace apim::crossbar

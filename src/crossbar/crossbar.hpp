@@ -1,0 +1,87 @@
+// The blocked crossbar: the paper's memory unit (Figure 1(a)).
+//
+// A BlockedCrossbar is a chain of structurally identical blocks joined by
+// configurable interconnects, sharing one row decoder, one column decoder
+// and one bank of sense amplifiers. Block 0 conventionally acts as the data
+// block and higher-numbered blocks as processing blocks, but the roles are
+// interchangeable (Section 3.1) — the multiplier's N:2 reduction toggles
+// between two processing blocks at every step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crossbar/address.hpp"
+#include "crossbar/block.hpp"
+#include "crossbar/decoder.hpp"
+#include "crossbar/interconnect.hpp"
+#include "crossbar/sense_amp.hpp"
+
+namespace apim::crossbar {
+
+struct CrossbarConfig {
+  std::size_t blocks = 3;  ///< Data block + two processing blocks.
+  std::size_t rows = 64;
+  std::size_t cols = 128;
+};
+
+class BlockedCrossbar {
+ public:
+  explicit BlockedCrossbar(CrossbarConfig config);
+
+  [[nodiscard]] const CrossbarConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  [[nodiscard]] CrossbarBlock& block(std::size_t i);
+  [[nodiscard]] const CrossbarBlock& block(std::size_t i) const;
+
+  /// Interconnect between block `i` and block `i + 1`.
+  [[nodiscard]] Interconnect& interconnect(std::size_t i);
+  [[nodiscard]] const Interconnect& interconnect(std::size_t i) const;
+
+  [[nodiscard]] SenseAmp& sense_amps() noexcept { return sense_amps_; }
+  [[nodiscard]] const SenseAmp& sense_amps() const noexcept {
+    return sense_amps_;
+  }
+
+  // -- Cell access through the shared decoders (counts activations). --
+  [[nodiscard]] bool get(const CellAddr& addr) const;
+  /// Returns true when the cell switched.
+  bool set(const CellAddr& addr, bool value);
+
+  /// Word access, little-endian along columns.
+  std::size_t write_word(const CellAddr& start, unsigned width,
+                         std::uint64_t value);
+  [[nodiscard]] std::uint64_t read_word(const CellAddr& start,
+                                        unsigned width) const;
+
+  /// Route column `col` of block `src_block` through the interconnects to
+  /// `dst_block` (must be adjacent or equal; multi-hop routes go through
+  /// each interconnect in turn). Returns the destination column, or -1 when
+  /// the accumulated shift runs off the edge.
+  [[nodiscard]] std::int64_t route_column(std::size_t src_block,
+                                          std::size_t dst_block,
+                                          std::size_t col) const;
+
+  /// Aggregate endurance counters over all blocks.
+  [[nodiscard]] std::uint64_t total_switches() const noexcept;
+  [[nodiscard]] std::uint64_t total_writes() const noexcept;
+
+  /// Area bookkeeping: decoder transistors are shared by all blocks, which
+  /// is the paper's area advantage over multi-array adders.
+  [[nodiscard]] std::size_t shared_decoder_transistors() const noexcept;
+
+ private:
+  void check_addr(const CellAddr& addr) const;
+
+  CrossbarConfig config_;
+  std::vector<CrossbarBlock> blocks_;
+  std::vector<Interconnect> interconnects_;
+  mutable Decoder row_decoder_;
+  mutable Decoder col_decoder_;
+  SenseAmp sense_amps_;
+};
+
+}  // namespace apim::crossbar

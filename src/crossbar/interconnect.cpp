@@ -1,0 +1,28 @@
+#include "crossbar/interconnect.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace apim::crossbar {
+
+void Interconnect::set_shift(int shift) {
+  assert(static_cast<std::size_t>(std::abs(shift)) < span_);
+  if (shift != shift_) {
+    shift_ = shift;
+    ++reconfigurations_;
+  }
+}
+
+std::int64_t Interconnect::route(std::size_t incoming_col) const noexcept {
+  const auto out = static_cast<std::int64_t>(incoming_col) + shift_;
+  if (out < 0 || out >= static_cast<std::int64_t>(span_)) return -1;
+  return out;
+}
+
+std::int64_t Interconnect::route_reverse(std::size_t outgoing_col) const noexcept {
+  const auto in = static_cast<std::int64_t>(outgoing_col) - shift_;
+  if (in < 0 || in >= static_cast<std::int64_t>(span_)) return -1;
+  return in;
+}
+
+}  // namespace apim::crossbar

@@ -1,0 +1,47 @@
+// Configurable inter-block interconnect (paper Section 3.1 and Figure 3(a)).
+//
+// A barrel-shifter-like switch network connects the bitlines of two adjacent
+// blocks: incoming bitline b_i can be routed to outgoing bitline b'_{i+s}
+// for a configurable shift s set by the controller's select signals. This is
+// what makes shifting free in APIM: a copy between blocks embeds the shift,
+// so a whole word is shifted at once instead of bit by bit.
+#pragma once
+
+#include <cstdint>
+
+namespace apim::crossbar {
+
+class Interconnect {
+ public:
+  /// `span` is the number of bitlines crossing the interconnect; the shift
+  /// range is (-span, span).
+  explicit Interconnect(std::size_t span) : span_(span) {}
+
+  [[nodiscard]] std::size_t span() const noexcept { return span_; }
+  [[nodiscard]] int shift() const noexcept { return shift_; }
+
+  /// Reconfigure the select signals. Counted so benches can report
+  /// reconfiguration activity; the paper treats this as controller work that
+  /// overlaps compute, so no cycles are charged here.
+  void set_shift(int shift);
+
+  /// Route an incoming bitline index to the outgoing side. Returns -1 when
+  /// the shifted index falls outside the destination block (those lines are
+  /// simply not driven).
+  [[nodiscard]] std::int64_t route(std::size_t incoming_col) const noexcept;
+
+  /// Route in the opposite direction (the switches are pass transistors, so
+  /// the network is bidirectional; the reverse mapping applies -shift).
+  [[nodiscard]] std::int64_t route_reverse(std::size_t outgoing_col) const noexcept;
+
+  [[nodiscard]] std::uint64_t reconfigurations() const noexcept {
+    return reconfigurations_;
+  }
+
+ private:
+  std::size_t span_;
+  int shift_ = 0;
+  std::uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace apim::crossbar

@@ -1,0 +1,29 @@
+#include "crossbar/scratch_allocator.hpp"
+
+#include <cassert>
+
+namespace apim::crossbar {
+
+RotatingScratchAllocator::RotatingScratchAllocator(std::size_t first_row,
+                                                   std::size_t rows,
+                                                   std::size_t band_rows)
+    : first_row_(first_row),
+      band_rows_(band_rows),
+      bands_(band_rows > 0 ? rows / band_rows : 0) {
+  assert(band_rows > 0);
+  assert(bands_ >= 1 && "scratch region smaller than one band");
+}
+
+std::size_t RotatingScratchAllocator::next_band() {
+  const std::size_t base = band_base(next_);
+  next_ = (next_ + 1) % bands_;
+  ++issued_;
+  return base;
+}
+
+std::size_t RotatingScratchAllocator::band_base(std::size_t i) const {
+  assert(i < bands_);
+  return first_row_ + i * band_rows_;
+}
+
+}  // namespace apim::crossbar

@@ -1,0 +1,42 @@
+// Rotating scratch-band allocator: wear leveling for in-memory compute.
+//
+// MAGIC schedules hammer their scratch cells (an init SET + an evaluation
+// RESET per cycle) while data rows rest, concentrating wear — the
+// endurance analysis (device/endurance.hpp) measures imbalances well above
+// 2x on a fixed layout. Rotating the scratch band across the processing
+// block's rows between operations spreads that wear; with R candidate
+// bands the hottest cell's switch rate drops by ~R. The allocator is
+// deliberately simple (round robin over fixed-height bands) so its effect
+// is analyzable; see ext_endurance for the measured comparison.
+#pragma once
+
+#include <cstddef>
+
+namespace apim::crossbar {
+
+class RotatingScratchAllocator {
+ public:
+  /// Bands of `band_rows` rows carved from [first_row, first_row + rows).
+  RotatingScratchAllocator(std::size_t first_row, std::size_t rows,
+                           std::size_t band_rows);
+
+  /// Rows available as scratch bands.
+  [[nodiscard]] std::size_t band_count() const noexcept { return bands_; }
+
+  /// Base row of the next band (round robin).
+  [[nodiscard]] std::size_t next_band();
+
+  /// Base row of band `i` without advancing.
+  [[nodiscard]] std::size_t band_base(std::size_t i) const;
+
+  [[nodiscard]] std::size_t rotations() const noexcept { return issued_; }
+
+ private:
+  std::size_t first_row_;
+  std::size_t band_rows_;
+  std::size_t bands_;
+  std::size_t next_ = 0;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace apim::crossbar

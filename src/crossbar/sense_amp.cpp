@@ -1,0 +1,22 @@
+#include "crossbar/sense_amp.hpp"
+
+namespace apim::crossbar {
+
+bool SenseAmp::read(const CrossbarBlock& block, std::size_t row,
+                    std::size_t col) {
+  ++reads_;
+  return block.get(row, col);
+}
+
+bool SenseAmp::majority(const CrossbarBlock& block, std::size_t col,
+                        std::size_t r0, std::size_t r1, std::size_t r2) {
+  ++majority_ops_;
+  // Current summation: each cell at RON ('1') contributes one unit; the
+  // reference trips above two units (2-of-3 threshold).
+  const int ones = static_cast<int>(block.get(r0, col)) +
+                   static_cast<int>(block.get(r1, col)) +
+                   static_cast<int>(block.get(r2, col));
+  return ones >= 2;
+}
+
+}  // namespace apim::crossbar

@@ -1,0 +1,39 @@
+#include "device/endurance.hpp"
+
+#include <algorithm>
+
+namespace apim::device {
+
+EnduranceReport analyze_endurance(const crossbar::BlockedCrossbar& crossbar,
+                                  std::uint64_t workload_count,
+                                  const EnduranceParams& params) {
+  EnduranceReport report;
+  std::uint32_t worst = 0;
+  std::uint64_t cells = 0;
+  for (std::size_t b = 0; b < crossbar.block_count(); ++b) {
+    const auto& block = crossbar.block(b);
+    report.total_switches += block.total_switches();
+    worst = std::max(worst, block.max_cell_switches());
+    cells += block.rows() * block.cols();
+  }
+  report.worst_cell_switches = worst;
+  report.mean_switches_per_cell =
+      cells == 0 ? 0.0
+                 : static_cast<double>(report.total_switches) /
+                       static_cast<double>(cells);
+  report.imbalance = report.mean_switches_per_cell > 0.0
+                         ? static_cast<double>(worst) /
+                               report.mean_switches_per_cell
+                         : 0.0;
+  if (worst > 0 && workload_count > 0) {
+    const double switches_per_workload =
+        static_cast<double>(worst) / static_cast<double>(workload_count);
+    report.operations_to_failure =
+        params.endurance_limit / switches_per_workload;
+    report.seconds_to_failure =
+        report.operations_to_failure / params.workloads_per_second;
+  }
+  return report;
+}
+
+}  // namespace apim::device

@@ -1,0 +1,46 @@
+// Endurance analysis for the memristive crossbar.
+//
+// RRAM cells wear out by switching: typical devices sustain 1e6..1e12 SET/
+// RESET events. Because APIM computes by switching cells, its scratch
+// regions wear far faster than storage — a standard objection to MAGIC-
+// style PIM that the paper does not quantify. This module turns the
+// per-cell switch counters the crossbar already collects into lifetime
+// estimates, so the repository can report the cost honestly (see
+// tests/endurance_test.cpp and the wear section of EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "crossbar/crossbar.hpp"
+
+namespace apim::device {
+
+struct EnduranceReport {
+  std::uint64_t total_switches = 0;
+  std::uint32_t worst_cell_switches = 0;
+  double mean_switches_per_cell = 0.0;
+  /// Wear imbalance: worst cell / mean (1.0 = perfectly leveled).
+  double imbalance = 0.0;
+  /// Operations until the worst cell exceeds the endurance limit, assuming
+  /// the measured workload repeats (0 when nothing switched).
+  double operations_to_failure = 0.0;
+  /// Same, expressed in seconds at the given issue rate.
+  double seconds_to_failure = 0.0;
+};
+
+struct EnduranceParams {
+  /// SET/RESET events a cell survives; 1e9 is a mid-range HfOx figure.
+  double endurance_limit = 1e9;
+  /// How many instances of the measured workload are issued per second
+  /// (for the time-to-failure estimate).
+  double workloads_per_second = 1e6;
+};
+
+/// Analyze the wear accumulated on `crossbar` by the workload executed so
+/// far. `workload_count` is how many logical operations (e.g. multiplies)
+/// produced those switches; used to normalize operations_to_failure.
+[[nodiscard]] EnduranceReport analyze_endurance(
+    const crossbar::BlockedCrossbar& crossbar, std::uint64_t workload_count,
+    const EnduranceParams& params = {});
+
+}  // namespace apim::device

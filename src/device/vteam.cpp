@@ -1,0 +1,78 @@
+#include "device/vteam.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apim::device {
+
+VteamModel::VteamModel(VteamParams params) : params_(params) {
+  assert(params_.r_on > 0 && params_.r_off > params_.r_on);
+  assert(params_.v_on < 0 && params_.v_off > 0);
+  assert(params_.k_on < 0 && params_.k_off > 0);
+  assert(params_.w_off > params_.w_on);
+}
+
+double VteamModel::resistance(double w) const noexcept {
+  const double clamped = std::clamp(w, params_.w_on, params_.w_off);
+  const double frac =
+      (clamped - params_.w_on) / (params_.w_off - params_.w_on);
+  return params_.r_on + frac * (params_.r_off - params_.r_on);
+}
+
+double VteamModel::state_derivative(double w, double v) const noexcept {
+  if (v > params_.v_off) {
+    if (w >= params_.w_off) return 0.0;  // Already fully RESET.
+    return params_.k_off * std::pow(v / params_.v_off - 1.0, params_.alpha_off);
+  }
+  if (v < params_.v_on) {
+    if (w <= params_.w_on) return 0.0;  // Already fully SET.
+    return params_.k_on * std::pow(v / params_.v_on - 1.0, params_.alpha_on);
+  }
+  return 0.0;  // Within the threshold window: non-volatile retention.
+}
+
+SwitchingEvent VteamModel::integrate(double v, double w_start, double w_end,
+                                     double dt_s) const {
+  assert(dt_s > 0);
+  SwitchingEvent event;
+  double w = w_start;
+  double t = 0.0;
+  double energy_j = 0.0;
+  const bool increasing = w_end > w_start;
+  // Hard cap so a sub-threshold voltage cannot loop forever: 1 us is three
+  // orders of magnitude beyond any nominal switching event here.
+  const double t_max = 1e-6;
+  while ((increasing ? w < w_end : w > w_end) && t < t_max) {
+    // RK4 on the state; the derivative only depends on w (v is constant).
+    const double k1 = state_derivative(w, v);
+    if (k1 == 0.0) break;  // Below threshold or at the boundary: stuck.
+    const double k2 = state_derivative(w + 0.5 * dt_s * k1, v);
+    const double k3 = state_derivative(w + 0.5 * dt_s * k2, v);
+    const double k4 = state_derivative(w + dt_s * k3, v);
+    const double power = v * v / resistance(w);
+    w += dt_s / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    energy_j += power * dt_s;
+    t += dt_s;
+  }
+  event.completed = increasing ? w >= w_end : w <= w_end;
+  event.time_s = t;
+  event.energy_pj = energy_j * 1e12;
+  return event;
+}
+
+SwitchingEvent VteamModel::integrate_reset(double v, double dt_s) const {
+  return integrate(v, params_.w_on, params_.w_off, dt_s);
+}
+
+SwitchingEvent VteamModel::integrate_set(double v, double dt_s) const {
+  // SET requires negative voltage (v < v_on).
+  return integrate(v, params_.w_off, params_.w_on, dt_s);
+}
+
+double VteamModel::conduction_energy_pj(double w, double v,
+                                        double duration_s) const noexcept {
+  return v * v / resistance(w) * duration_s * 1e12;
+}
+
+}  // namespace apim::device

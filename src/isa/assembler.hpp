@@ -1,0 +1,42 @@
+// Two-pass assembler for the APIM kernel dialect.
+//
+// Syntax (one instruction per line; `;` starts a comment):
+//
+//   loop:                      ; labels end with ':'
+//     load  r1, [r2+4]         ; memory load, base register + offset
+//     load  r3, #42            ; immediate load
+//     mul   r4, r1, r3         ; in-memory multiply
+//     mac   r5, r1, r3         ; r5 += r1*r3 (in-memory)
+//     addi  r2, r2, #1         ; controller index arithmetic (free)
+//     setrelax #16             ; runtime precision knob
+//     jnz   r6, @loop          ; branch to label
+//     halt
+//
+// Errors (unknown mnemonics, bad registers, undefined labels, ...) raise
+// AssemblyError with the offending line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/isa.hpp"
+
+namespace apim::isa {
+
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(std::uint32_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::uint32_t line() const noexcept { return line_; }
+
+ private:
+  std::uint32_t line_;
+};
+
+/// Assemble source text into a Program. Throws AssemblyError.
+[[nodiscard]] Program assemble(std::string_view source);
+
+}  // namespace apim::isa

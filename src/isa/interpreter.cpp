@@ -1,0 +1,146 @@
+#include "isa/interpreter.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace apim::isa {
+
+namespace {
+
+std::size_t checked_address(std::int64_t base, std::int64_t offset,
+                            std::size_t memory_size, std::uint64_t pc) {
+  const std::int64_t addr = base + offset;
+  if (addr < 0 || static_cast<std::size_t>(addr) >= memory_size)
+    throw std::out_of_range("pc " + std::to_string(pc) +
+                            ": memory access at " + std::to_string(addr) +
+                            " outside [0, " + std::to_string(memory_size) +
+                            ")");
+  return static_cast<std::size_t>(addr);
+}
+
+}  // namespace
+
+ExecutionResult Interpreter::run(const Program& program,
+                                 std::span<std::int64_t> memory) {
+  ExecutionResult result;
+  result.registers.assign(kRegisterCount, 0);
+  auto& regs = result.registers;
+
+  const auto write_reg = [&](std::uint8_t r, std::int64_t value) {
+    if (r != 0) regs[r] = value;  // r0 is hard-wired zero.
+  };
+
+  std::size_t pc = 0;
+  std::uint64_t remaining = fuel_;
+  while (pc < program.code.size() && remaining-- > 0) {
+    const Instruction& inst = program.code[pc];
+    ++result.instructions_executed;
+    std::size_t next_pc = pc + 1;
+    switch (inst.op) {
+      case Opcode::kMul:
+        write_reg(inst.dst, device_.mul_int(regs[inst.src1], regs[inst.src2]));
+        ++result.data_ops;
+        break;
+      case Opcode::kAdd:
+        write_reg(inst.dst, device_.add(regs[inst.src1], regs[inst.src2]));
+        ++result.data_ops;
+        break;
+      case Opcode::kSub:
+        write_reg(inst.dst, device_.add(regs[inst.src1], -regs[inst.src2]));
+        ++result.data_ops;
+        break;
+      case Opcode::kMac:
+        write_reg(inst.dst, device_.mac_int(regs[inst.dst], regs[inst.src1],
+                                            regs[inst.src2]));
+        result.data_ops += 2;  // Multiply + accumulate.
+        break;
+      case Opcode::kLoad:
+        write_reg(inst.dst,
+                  memory[checked_address(regs[inst.src1], inst.imm,
+                                         memory.size(), pc)]);
+        break;
+      case Opcode::kLoadImm:
+        write_reg(inst.dst, inst.imm);
+        break;
+      case Opcode::kStore:
+        memory[checked_address(regs[inst.src1], inst.imm, memory.size(),
+                               pc)] = regs[inst.dst];
+        break;
+      case Opcode::kVAdd:
+      case Opcode::kVMul: {
+        // Memory-to-memory elementwise op over `imm` elements. Values use
+        // the device's signed semantics; costs come from the row-parallel
+        // units: one 12W+1 pass for the add vector, the lane makespan for
+        // the multiply vector. Energy accrues per element either way.
+        const auto count = static_cast<std::size_t>(inst.imm);
+        const std::size_t base_d = checked_address(regs[inst.dst], 0,
+                                                   memory.size(), pc);
+        const std::size_t base_a = checked_address(regs[inst.src1], 0,
+                                                   memory.size(), pc);
+        const std::size_t base_b = checked_address(regs[inst.src2], 0,
+                                                   memory.size(), pc);
+        (void)checked_address(regs[inst.dst], inst.imm - 1, memory.size(), pc);
+        (void)checked_address(regs[inst.src1], inst.imm - 1, memory.size(),
+                              pc);
+        (void)checked_address(regs[inst.src2], inst.imm - 1, memory.size(),
+                              pc);
+        // Values go through the device element by element (signed
+        // semantics, full energy); the row-parallel region then collapses
+        // the latency to a single shared pass across the lanes.
+        const util::Cycles region = device_.parallel_region_begin();
+        if (inst.op == Opcode::kVAdd) {
+          for (std::size_t e = 0; e < count; ++e)
+            memory[base_d + e] =
+                device_.add(memory[base_a + e], memory[base_b + e]);
+        } else {
+          for (std::size_t e = 0; e < count; ++e)
+            memory[base_d + e] =
+                device_.mul_int(memory[base_a + e], memory[base_b + e]);
+        }
+        device_.parallel_region_end(region, count);
+        result.data_ops += count;
+        break;
+      }
+      case Opcode::kMov:
+        write_reg(inst.dst, regs[inst.src1]);
+        break;
+      case Opcode::kAddi:
+        write_reg(inst.dst, regs[inst.src1] + inst.imm);
+        break;
+      case Opcode::kShr: {
+        const std::int64_t v = regs[inst.src1];
+        // Sign-magnitude shift, matching the device's rescale semantics.
+        const std::int64_t mag = (v < 0 ? -v : v) >> inst.imm;
+        write_reg(inst.dst, v < 0 ? -mag : mag);
+        break;
+      }
+      case Opcode::kShl:
+        write_reg(inst.dst, regs[inst.src1] << inst.imm);
+        break;
+      case Opcode::kSetRelax:
+        device_.set_relax_bits(static_cast<unsigned>(inst.imm));
+        break;
+      case Opcode::kSetMask:
+        device_.set_mask_bits(static_cast<unsigned>(inst.imm));
+        break;
+      case Opcode::kJmp:
+        next_pc = static_cast<std::size_t>(inst.imm);
+        break;
+      case Opcode::kJz:
+        if (regs[inst.src1] == 0) next_pc = static_cast<std::size_t>(inst.imm);
+        break;
+      case Opcode::kJnz:
+        if (regs[inst.src1] != 0) next_pc = static_cast<std::size_t>(inst.imm);
+        break;
+      case Opcode::kHalt:
+        result.halted = true;
+        return result;
+    }
+    pc = next_pc;
+  }
+  // Fuel exhausted or fell off the end without halt.
+  result.halted = false;
+  return result;
+}
+
+}  // namespace apim::isa

@@ -1,0 +1,44 @@
+// Interpreter for assembled APIM kernels.
+//
+// Executes a Program against a register file and a data memory (modelling
+// the crossbar's data blocks). Data ops are dispatched to an ApimDevice,
+// so a kernel run produces the same cycle/energy accounting as calling the
+// device API directly — the ISA is a programming veneer, not a separate
+// cost model. A fuel limit guards against non-terminating kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/apim.hpp"
+#include "isa/isa.hpp"
+
+namespace apim::isa {
+
+struct ExecutionResult {
+  std::vector<std::int64_t> registers;  ///< Final register file.
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t data_ops = 0;  ///< Ops charged to the device.
+  bool halted = false;         ///< False if fuel ran out.
+};
+
+class Interpreter {
+ public:
+  /// `fuel` caps executed instructions (default 10M).
+  explicit Interpreter(core::ApimDevice& device,
+                       std::uint64_t fuel = 10'000'000)
+      : device_(device), fuel_(fuel) {}
+
+  /// Run `program` over `memory` (read/write). Out-of-range memory access
+  /// or a missing halt (fuel exhaustion) is reported via the result /
+  /// throws std::out_of_range respectively.
+  [[nodiscard]] ExecutionResult run(const Program& program,
+                                    std::span<std::int64_t> memory);
+
+ private:
+  core::ApimDevice& device_;
+  std::uint64_t fuel_;
+};
+
+}  // namespace apim::isa

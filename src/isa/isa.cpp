@@ -1,0 +1,88 @@
+#include "isa/isa.hpp"
+
+#include <sstream>
+
+namespace apim::isa {
+
+const char* mnemonic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kMul: return "mul";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMac: return "mac";
+    case Opcode::kLoad: return "load";
+    case Opcode::kLoadImm: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kVAdd: return "vadd";
+    case Opcode::kVMul: return "vmul";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kShr: return "shr";
+    case Opcode::kShl: return "shl";
+    case Opcode::kSetRelax: return "setrelax";
+    case Opcode::kSetMask: return "setmask";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJz: return "jz";
+    case Opcode::kJnz: return "jnz";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instruction& inst = code[pc];
+    out << pc << ": " << mnemonic(inst.op);
+    switch (inst.op) {
+      case Opcode::kMul:
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMac:
+        out << " r" << +inst.dst << ", r" << +inst.src1 << ", r"
+            << +inst.src2;
+        break;
+      case Opcode::kLoad:
+        out << " r" << +inst.dst << ", [r" << +inst.src1 << "+" << inst.imm
+            << "]";
+        break;
+      case Opcode::kLoadImm:
+        out << " r" << +inst.dst << ", #" << inst.imm;
+        break;
+      case Opcode::kStore:
+        out << " r" << +inst.dst << ", [r" << +inst.src1 << "+" << inst.imm
+            << "]";
+        break;
+      case Opcode::kVAdd:
+      case Opcode::kVMul:
+        out << " [r" << +inst.dst << "], [r" << +inst.src1 << "], [r"
+            << +inst.src2 << "], #" << inst.imm;
+        break;
+      case Opcode::kMov:
+        out << " r" << +inst.dst << ", r" << +inst.src1;
+        break;
+      case Opcode::kAddi:
+      case Opcode::kShr:
+      case Opcode::kShl:
+        out << " r" << +inst.dst << ", r" << +inst.src1 << ", #" << inst.imm;
+        break;
+      case Opcode::kSetRelax:
+      case Opcode::kSetMask:
+        out << " #" << inst.imm;
+        break;
+      case Opcode::kJmp:
+        out << " @" << inst.imm;
+        break;
+      case Opcode::kJz:
+      case Opcode::kJnz:
+        out << " r" << +inst.src1 << ", @" << inst.imm;
+        break;
+      case Opcode::kHalt:
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace apim::isa

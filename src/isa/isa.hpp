@@ -1,0 +1,80 @@
+// A minimal instruction set for programming APIM kernels.
+//
+// The paper's applications are OpenCL kernels whose adds/multiplies are
+// offloaded to the in-memory units while scalar control stays on the host
+// controller. This ISA captures that split explicitly:
+//  * data ops (mul / add / sub / mac) execute on an ApimDevice and are
+//    charged its real cycles and energy;
+//  * control ops (moves, index arithmetic, branches, precision changes)
+//    run in the memory controller and are free, like the paper's
+//    interconnect reconfiguration and runtime precision switching.
+// Programs are written in a small assembly dialect (assembler.hpp) and run
+// by the Interpreter (interpreter.hpp) against a register file plus a data
+// memory that models the crossbar's data blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apim::isa {
+
+enum class Opcode : std::uint8_t {
+  // Data ops — charged to the APIM device.
+  kMul,   ///< mul rD, rA, rB      : rD = rA * rB (integer, in-memory)
+  kAdd,   ///< add rD, rA, rB      : rD = rA + rB (in-memory)
+  kSub,   ///< sub rD, rA, rB      : rD = rA - rB (in-memory)
+  kMac,   ///< mac rD, rA, rB      : rD = rD + rA * rB (in-memory)
+  // Memory — data-block access (free: data is resident, PIM premise).
+  kLoad,     ///< load rD, [rA+off] : rD = mem[rA + off]
+  kLoadImm,  ///< load rD, #imm     : rD = imm
+  kStore,    ///< store rS, [rA+off]: mem[rA + off] = rS
+  // Vector ops — memory-to-memory over `imm` elements, executed by the
+  // row-parallel in-memory units (one crossbar pass for the whole batch).
+  kVAdd,  ///< vadd [rD], [rA], [rB], #n : elementwise add, 12*W+1 cycles
+  kVMul,  ///< vmul [rD], [rA], [rB], #n : elementwise multiply,
+          ///< makespan of the per-element pipelines across lanes
+  // Controller ops — free.
+  kMov,       ///< mov rD, rA
+  kAddi,      ///< addi rD, rA, #imm : index arithmetic (controller)
+  kShr,       ///< shr rD, rA, #imm  : arithmetic shift right (free wiring)
+  kShl,       ///< shl rD, rA, #imm
+  kSetRelax,  ///< setrelax #m       : runtime precision knob
+  kSetMask,   ///< setmask #b
+  // Control flow — free.
+  kJmp,   ///< jmp @label
+  kJz,    ///< jz rA, @label
+  kJnz,   ///< jnz rA, @label
+  kHalt,  ///< halt
+};
+
+[[nodiscard]] const char* mnemonic(Opcode op) noexcept;
+
+/// Decoded instruction. Fields are used per opcode as documented above;
+/// unused fields are zero.
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t dst = 0;   ///< Destination register (or source for store).
+  std::uint8_t src1 = 0;  ///< First source / address base register.
+  std::uint8_t src2 = 0;  ///< Second source register.
+  std::int64_t imm = 0;   ///< Immediate / offset / branch target index.
+};
+
+/// An assembled program: instructions plus source line mapping for
+/// diagnostics.
+struct Program {
+  std::vector<Instruction> code;
+  std::vector<std::uint32_t> source_lines;  ///< Per instruction.
+
+  [[nodiscard]] bool empty() const noexcept { return code.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return code.size(); }
+
+  /// Round-trippable textual form.
+  [[nodiscard]] std::string disassemble() const;
+};
+
+/// Number of general-purpose registers (r0..r31). r0 reads as zero and
+/// ignores writes, RISC style.
+inline constexpr std::size_t kRegisterCount = 32;
+
+}  // namespace apim::isa

@@ -1,0 +1,43 @@
+// Micro-operation types executed by the MAGIC engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crossbar/address.hpp"
+
+namespace apim::magic {
+
+/// One MAGIC NOR evaluation: `dst` must have been initialized to '1'
+/// (RON); after execution it holds NOR of the addressed input cells.
+/// MAGIC supports n-input NOR in a row or column, and through the
+/// configurable interconnect the output may live in an adjacent block on a
+/// shifted bitline (paper Section 3.3).
+struct NorOp {
+  crossbar::CellAddr dst;
+  std::vector<crossbar::CellAddr> inputs;
+};
+
+/// Kinds of engine events recorded in the trace and the op counters.
+enum class OpKind : std::uint8_t {
+  kInit,
+  kNor,
+  kWrite,
+  kRead,
+  kMajority,
+  kIdle,
+};
+
+[[nodiscard]] constexpr const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kInit: return "init";
+    case OpKind::kNor: return "nor";
+    case OpKind::kWrite: return "write";
+    case OpKind::kRead: return "read";
+    case OpKind::kMajority: return "majority";
+    case OpKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+}  // namespace apim::magic

@@ -1,0 +1,50 @@
+#include "magic/trace.hpp"
+
+#include <sstream>
+
+namespace apim::magic {
+
+void Tracer::record(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::uint64_t Tracer::count(OpKind kind) const noexcept {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : events_)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+std::uint64_t Tracer::cells(OpKind kind) const noexcept {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : events_)
+    if (e.kind == kind) n += e.cells;
+  return n;
+}
+
+std::string Tracer::format(std::size_t max_lines) const {
+  std::ostringstream out;
+  std::size_t lines = 0;
+  for (const TraceEvent& e : events_) {
+    if (lines++ >= max_lines) {
+      out << "... (" << events_.size() - max_lines << " more events)\n";
+      break;
+    }
+    out << "cycle " << e.cycle << ": " << to_string(e.kind) << " x" << e.cells;
+    if (e.overlapped) out << " (overlapped)";
+    out << '\n';
+  }
+  if (dropped_ > 0) out << "(" << dropped_ << " events dropped)\n";
+  return out.str();
+}
+
+}  // namespace apim::magic

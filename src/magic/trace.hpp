@@ -1,0 +1,53 @@
+// Operation tracing for the MAGIC engine.
+//
+// A trace records every micro-operation batch the engine executes —
+// cycle number, kind, cell count — so schedules can be inspected,
+// visualized and regression-tested at the micro-op level. Tracing is
+// opt-in (attach a Tracer to the engine) and costs nothing when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "magic/ops.hpp"
+#include "util/units.hpp"
+
+namespace apim::magic {
+
+struct TraceEvent {
+  util::Cycles cycle = 0;   ///< Cycle at which the batch completed.
+  OpKind kind = OpKind::kNor;
+  std::uint32_t cells = 0;  ///< Cells touched by the batch (lanes).
+  bool overlapped = false;  ///< True for zero-cycle (overlapped) batches.
+};
+
+class Tracer {
+ public:
+  /// `capacity` bounds memory; older events are dropped once exceeded
+  /// (the drop count is reported).
+  explicit Tracer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void record(TraceEvent event);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Events per op kind (init/nor/write/read/majority/idle).
+  [[nodiscard]] std::uint64_t count(OpKind kind) const noexcept;
+  /// Total cells touched by batches of `kind`.
+  [[nodiscard]] std::uint64_t cells(OpKind kind) const noexcept;
+
+  /// Human-readable schedule dump ("cycle 3: nor x32") for debugging.
+  [[nodiscard]] std::string format(std::size_t max_lines = 64) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace apim::magic

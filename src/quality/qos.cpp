@@ -1,0 +1,37 @@
+#include "quality/qos.hpp"
+
+#include "quality/metrics.hpp"
+
+namespace apim::quality {
+
+QosEvaluation evaluate_qos(const QosSpec& spec,
+                           std::span<const double> golden,
+                           std::span<const double> test) {
+  QosEvaluation eval;
+  switch (spec.kind) {
+    case QosKind::kPsnr: {
+      eval.metric = psnr_db(golden, test, spec.peak);
+      eval.acceptable = eval.metric >= spec.threshold;
+      // Loss comparable to a relative error: RMSE normalized by peak.
+      eval.loss = rmse(golden, test) / spec.peak;
+      break;
+    }
+    case QosKind::kRelativeError: {
+      eval.metric = average_relative_error(golden, test, spec.relative_floor);
+      eval.acceptable = eval.metric <= spec.threshold;
+      eval.loss = eval.metric;
+      break;
+    }
+  }
+  return eval;
+}
+
+std::string to_string(QosKind kind) {
+  switch (kind) {
+    case QosKind::kPsnr: return "PSNR";
+    case QosKind::kRelativeError: return "RelErr";
+  }
+  return "?";
+}
+
+}  // namespace apim::quality

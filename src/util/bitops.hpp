@@ -1,0 +1,83 @@
+// Bit-manipulation helpers shared across the APIM simulator.
+//
+// All in-memory arithmetic in APIM is defined at the level of individual
+// bits (MAGIC NOR over memristor cells), so the word-level "fast functional
+// model" needs precise, well-named bit primitives that mirror what the
+// crossbar engine does cell by cell.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace apim::util {
+
+/// Number of set bits in `x`.
+[[nodiscard]] constexpr int popcount(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Extract bit `i` (0 = LSB) of `x` as 0/1.
+[[nodiscard]] constexpr std::uint64_t bit(std::uint64_t x, unsigned i) noexcept {
+  assert(i < 64);
+  return (x >> i) & 1u;
+}
+
+/// Return `x` with bit `i` set to `v` (v must be 0 or 1).
+[[nodiscard]] constexpr std::uint64_t with_bit(std::uint64_t x, unsigned i,
+                                               std::uint64_t v) noexcept {
+  assert(i < 64);
+  assert(v <= 1);
+  return (x & ~(std::uint64_t{1} << i)) | (v << i);
+}
+
+/// Mask with the low `n` bits set. `n` may be 0..64.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  assert(n <= 64);
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Keep only the low `n` bits of `x`.
+[[nodiscard]] constexpr std::uint64_t truncate(std::uint64_t x, unsigned n) noexcept {
+  return x & low_mask(n);
+}
+
+/// One-bit majority of three bits (each 0/1). This is exactly what the
+/// modified sense amplifier in APIM computes for the carry-out.
+[[nodiscard]] constexpr std::uint64_t maj3(std::uint64_t a, std::uint64_t b,
+                                           std::uint64_t c) noexcept {
+  assert(a <= 1 && b <= 1 && c <= 1);
+  return (a & b) | (b & c) | (c & a);
+}
+
+/// One-bit full-adder sum (parity) of three bits.
+[[nodiscard]] constexpr std::uint64_t sum3(std::uint64_t a, std::uint64_t b,
+                                           std::uint64_t c) noexcept {
+  assert(a <= 1 && b <= 1 && c <= 1);
+  return a ^ b ^ c;
+}
+
+/// Word-parallel carry-save 3:2 reduction: the sum word is the bitwise
+/// parity, the carry word is the bitwise majority shifted left by one.
+/// This is the word-level equivalent of one APIM in-memory CSA stage.
+struct CarrySave {
+  std::uint64_t sum;
+  std::uint64_t carry;
+};
+
+[[nodiscard]] constexpr CarrySave csa3(std::uint64_t a, std::uint64_t b,
+                                       std::uint64_t c) noexcept {
+  return {a ^ b ^ c, ((a & b) | (b & c) | (c & a)) << 1};
+}
+
+/// Index (0-based) of the most significant set bit, or -1 for x == 0.
+[[nodiscard]] constexpr int msb_index(std::uint64_t x) noexcept {
+  return x == 0 ? -1 : 63 - std::countl_zero(x);
+}
+
+/// Number of bits needed to represent `x` (0 needs 1 bit by convention).
+[[nodiscard]] constexpr unsigned bit_width(std::uint64_t x) noexcept {
+  return x == 0 ? 1u : static_cast<unsigned>(std::bit_width(x));
+}
+
+}  // namespace apim::util

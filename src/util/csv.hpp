@@ -1,0 +1,30 @@
+// Minimal CSV writer so every bench can dump its series for offline
+// plotting next to the printed table.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace apim::util {
+
+/// Writes rows of fields with proper quoting. One file per experiment.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; `ok()` reports failure instead of throwing so
+  /// benches can continue printing to stdout when the filesystem is
+  /// read-only.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Quote a field per RFC 4180 when it contains separators/quotes/newlines.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace apim::util

@@ -1,0 +1,92 @@
+// Fixed-point value representation used to map the OpenCL kernels onto the
+// APIM integer datapath.
+//
+// APIM computes on N-bit integer magnitudes stored in crossbar rows. The
+// paper's applications (Sobel, FFT, ...) use real-valued data, so the app
+// layer quantizes to Qm.f fixed point, runs every add/multiply through the
+// APIM model, and converts back for quality evaluation. The format is a
+// runtime value (not a template parameter) because the adaptive tuner
+// changes precision per application at runtime.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/bitops.hpp"
+
+namespace apim::util {
+
+/// Describes a signed fixed-point format with `integer_bits` + `frac_bits`
+/// magnitude bits (sign handled separately, as APIM computes on magnitudes).
+struct FixedPointFormat {
+  unsigned integer_bits = 16;
+  unsigned frac_bits = 16;
+
+  [[nodiscard]] constexpr unsigned total_bits() const noexcept {
+    return integer_bits + frac_bits;
+  }
+  [[nodiscard]] constexpr double scale() const noexcept {
+    return static_cast<double>(std::uint64_t{1} << frac_bits);
+  }
+  /// Largest representable magnitude.
+  [[nodiscard]] constexpr double max_value() const noexcept {
+    return static_cast<double>(low_mask(total_bits())) / scale();
+  }
+  friend constexpr bool operator==(const FixedPointFormat&,
+                                   const FixedPointFormat&) noexcept = default;
+};
+
+/// The Q16.16 default used by most kernels in this reproduction (32-bit
+/// magnitudes, matching the paper's 32x32-bit multiplier).
+inline constexpr FixedPointFormat kQ16_16{16, 16};
+/// Q8.8 (16-bit) used by the image kernels operating on 8-bit pixels.
+inline constexpr FixedPointFormat kQ8_8{8, 8};
+
+/// A sign-magnitude fixed-point value. APIM's in-memory multiplier operates
+/// on unsigned magnitudes; signs are resolved by XOR at the app layer, so we
+/// model exactly that split.
+struct Fixed {
+  std::uint64_t magnitude = 0;  ///< `total_bits()`-wide magnitude.
+  bool negative = false;
+
+  [[nodiscard]] constexpr std::int64_t signed_raw() const noexcept {
+    const auto mag = static_cast<std::int64_t>(magnitude);
+    return negative ? -mag : mag;
+  }
+};
+
+/// Quantize a real value to format `fmt`, saturating at the format limits.
+[[nodiscard]] constexpr Fixed to_fixed(double value, FixedPointFormat fmt) noexcept {
+  const bool neg = value < 0.0;
+  double mag = neg ? -value : value;
+  if (mag > fmt.max_value()) mag = fmt.max_value();
+  // Round to nearest.
+  const auto raw = static_cast<std::uint64_t>(mag * fmt.scale() + 0.5);
+  return Fixed{truncate(raw, fmt.total_bits()), neg};
+}
+
+/// Convert back to a real value.
+[[nodiscard]] constexpr double from_fixed(Fixed v, FixedPointFormat fmt) noexcept {
+  const double mag = static_cast<double>(v.magnitude) / fmt.scale();
+  return v.negative ? -mag : mag;
+}
+
+/// Convert a signed raw integer (in `fmt` fixed-point units) to Fixed.
+[[nodiscard]] constexpr Fixed fixed_from_raw(std::int64_t raw,
+                                             FixedPointFormat fmt) noexcept {
+  const bool neg = raw < 0;
+  const auto mag = static_cast<std::uint64_t>(neg ? -raw : raw);
+  return Fixed{truncate(mag, fmt.total_bits()), neg};
+}
+
+/// Rescale a double-width product magnitude (2*frac_bits fractional bits)
+/// back into `fmt` by discarding the low frac_bits, saturating on overflow.
+[[nodiscard]] constexpr std::uint64_t rescale_product(std::uint64_t product,
+                                                      FixedPointFormat fmt) noexcept {
+  const std::uint64_t shifted = product >> fmt.frac_bits;
+  const std::uint64_t cap = low_mask(fmt.total_bits());
+  return shifted > cap ? cap : shifted;
+}
+
+}  // namespace apim::util

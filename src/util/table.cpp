@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace apim::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << std::string(widths[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+std::string printf_format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+std::string printf_format_p(int precision, const char* suffix_fmt, double v) {
+  char fmt[32];
+  std::snprintf(fmt, sizeof fmt, "%%.%d%s", precision, suffix_fmt);
+  return printf_format(fmt, v);
+}
+}  // namespace
+
+std::string format_double(double v, int precision) {
+  return printf_format_p(precision, "f", v);
+}
+
+std::string format_factor(double v, int precision) {
+  return printf_format_p(precision, "fx", v);
+}
+
+std::string format_percent(double fraction, int precision) {
+  return printf_format_p(precision, "f%%", fraction * 100.0);
+}
+
+std::string format_sci(double v, int precision) {
+  return printf_format_p(precision, "e", v);
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (bytes == static_cast<double>(static_cast<long long>(bytes))) {
+    std::snprintf(buf, sizeof buf, "%lld %s", static_cast<long long>(bytes),
+                  kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", bytes, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace apim::util

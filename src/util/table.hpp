@@ -1,0 +1,45 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper and prints it
+// as an aligned text table (plus CSV via util/csv.hpp for plotting), so the
+// formatting lives in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apim::util {
+
+/// Column-aligned text table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Render with single-space-padded columns and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the bench printers.
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+/// "123x" style improvement factors, e.g. for EDP columns.
+[[nodiscard]] std::string format_factor(double v, int precision = 1);
+/// Percentage with a trailing '%'.
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+/// Scientific notation, e.g. "1.40e-16".
+[[nodiscard]] std::string format_sci(double v, int precision = 2);
+/// Human-readable byte size ("32 MB", "1 GB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace apim::util

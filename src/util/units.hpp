@@ -1,0 +1,44 @@
+// Strong-ish unit helpers for the cycle/energy accounting that runs through
+// the whole simulator.
+//
+// The APIM paper reports latency in MAGIC cycles (1 cycle = 1.1 ns) and
+// energy in joules; energy-delay product (EDP) is the headline metric.
+// We keep cycles as integers (they are exact counts of micro-operations)
+// and energy in picojoules as double (it is derived from device models).
+#pragma once
+
+#include <cstdint>
+
+namespace apim::util {
+
+/// Duration of one MAGIC NOR cycle, from the paper (Section 2): 1.1 ns.
+inline constexpr double kMagicCycleNs = 1.1;
+
+using Cycles = std::uint64_t;
+
+/// Convert a MAGIC cycle count to seconds.
+[[nodiscard]] constexpr double cycles_to_seconds(Cycles c) noexcept {
+  return static_cast<double>(c) * kMagicCycleNs * 1e-9;
+}
+
+/// Convert a MAGIC cycle count to nanoseconds.
+[[nodiscard]] constexpr double cycles_to_ns(Cycles c) noexcept {
+  return static_cast<double>(c) * kMagicCycleNs;
+}
+
+/// Picojoules to joules.
+[[nodiscard]] constexpr double pj_to_joules(double pj) noexcept {
+  return pj * 1e-12;
+}
+
+/// Energy-delay product in J*s given energy in pJ and latency in cycles.
+[[nodiscard]] constexpr double edp_js(double energy_pj, Cycles latency) noexcept {
+  return pj_to_joules(energy_pj) * cycles_to_seconds(latency);
+}
+
+/// Energy-delay product in J*s given energy in pJ and latency in seconds.
+[[nodiscard]] constexpr double edp_js_seconds(double energy_pj, double seconds) noexcept {
+  return pj_to_joules(energy_pj) * seconds;
+}
+
+}  // namespace apim::util

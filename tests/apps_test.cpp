@@ -1,0 +1,148 @@
+// Integration tests of the six applications: exact-mode equivalence with
+// the golden path, QoS degradation with relax bits, tuner convergence, and
+// the baseline-model hooks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/app.hpp"
+#include "core/tuner.hpp"
+#include "quality/qos.hpp"
+
+namespace apim::apps {
+namespace {
+
+constexpr std::size_t kElements = 1024;
+constexpr std::uint64_t kSeed = 2017;
+
+core::ApimDevice make_device(unsigned relax) {
+  core::ApimConfig cfg;
+  cfg.approx.relax_bits = relax;
+  return core::ApimDevice{cfg};
+}
+
+class AllAppsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllAppsTest, FactoryProducesApp) {
+  const auto app = make_application(GetParam());
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->name(), GetParam());
+}
+
+TEST_P(AllAppsTest, GenerationIsDeterministic) {
+  auto a = make_application(GetParam());
+  auto b = make_application(GetParam());
+  a->generate(kElements, kSeed);
+  b->generate(kElements, kSeed);
+  EXPECT_EQ(a->run_golden(), b->run_golden());
+}
+
+TEST_P(AllAppsTest, ExactModeMatchesGolden) {
+  // Table 1, m = 0 column: quality loss is exactly 0% — the exact APIM
+  // path computes the identical integer program.
+  auto app = make_application(GetParam());
+  app->generate(kElements, kSeed);
+  core::ApimDevice dev = make_device(0);
+  const auto golden = app->run_golden();
+  const auto apim = app->run_apim(dev);
+  ASSERT_EQ(golden.size(), apim.size());
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    ASSERT_DOUBLE_EQ(golden[i], apim[i]) << GetParam() << " idx " << i;
+  EXPECT_GT(dev.stats().multiplies, 0u);
+}
+
+TEST_P(AllAppsTest, QualityDegradesWithRelaxBits) {
+  auto app = make_application(GetParam());
+  app->generate(kElements, kSeed);
+  const auto golden = app->run_golden();
+  double loss_low = 0.0, loss_high = 0.0;
+  {
+    core::ApimDevice dev = make_device(8);
+    loss_low = quality::evaluate_qos(app->qos(), golden,
+                                     app->run_apim(dev)).loss;
+  }
+  {
+    core::ApimDevice dev = make_device(32);
+    loss_high = quality::evaluate_qos(app->qos(), golden,
+                                      app->run_apim(dev)).loss;
+  }
+  EXPECT_LE(loss_low, loss_high) << GetParam();
+  EXPECT_GT(loss_high, 0.0) << GetParam();
+}
+
+TEST_P(AllAppsTest, RelaxBitsCutCyclesAndEnergy) {
+  auto app = make_application(GetParam());
+  app->generate(kElements, kSeed);
+  core::ApimDevice exact = make_device(0);
+  core::ApimDevice relaxed = make_device(32);
+  (void)app->run_apim(exact);
+  (void)app->run_apim(relaxed);
+  EXPECT_LT(relaxed.stats().cycles, exact.stats().cycles) << GetParam();
+  EXPECT_LT(relaxed.energy_pj(), exact.energy_pj()) << GetParam();
+}
+
+TEST_P(AllAppsTest, TunerFindsQosCompliantSetting) {
+  // The paper's adaptive flow: max approximation first, step down by 4
+  // until the QoS criterion holds. Every app must converge (m = 0 always
+  // passes since exact mode is loss-free).
+  auto app = make_application(GetParam());
+  app->generate(kElements, kSeed);
+  const auto golden = app->run_golden();
+  const quality::QosSpec spec = app->qos();
+
+  const core::AccuracyTuner tuner;
+  const auto evaluate = [&](unsigned m) {
+    core::ApimDevice dev = make_device(m);
+    const auto out = app->run_apim(dev);
+    const auto eval = quality::evaluate_qos(spec, golden, out);
+    // The tuner minimizes a loss; encode "acceptable" as loss below the
+    // spec-equivalent threshold.
+    return eval.acceptable ? 0.0 : 1.0;
+  };
+  const core::TunerResult r = tuner.tune(evaluate, 0.5);
+  EXPECT_TRUE(r.met_qos) << GetParam();
+
+  // Verify the chosen setting really meets QoS end to end.
+  core::ApimDevice dev = make_device(r.relax_bits);
+  const auto out = app->run_apim(dev);
+  EXPECT_TRUE(quality::evaluate_qos(spec, golden, out).acceptable)
+      << GetParam() << " at m=" << r.relax_bits;
+}
+
+TEST_P(AllAppsTest, GpuProfileIsSane) {
+  const auto app = make_application(GetParam());
+  const baseline::GpuAppProfile p = app->gpu_profile();
+  EXPECT_GT(p.ops_per_element, 0.0);
+  EXPECT_GT(p.traffic_bytes_per_element, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AllAppsTest,
+                         ::testing::Values("Sobel", "Robert", "FFT",
+                                           "DwtHaar1D", "Sharpen", "QuasiR"));
+
+TEST(AppRegistry, AllSixInTableOrder) {
+  const auto apps = make_all_applications();
+  ASSERT_EQ(apps.size(), 6u);
+  EXPECT_EQ(apps[0]->name(), "Sobel");
+  EXPECT_EQ(apps[1]->name(), "Robert");
+  EXPECT_EQ(apps[2]->name(), "FFT");
+  EXPECT_EQ(apps[3]->name(), "DwtHaar1D");
+  EXPECT_EQ(apps[4]->name(), "Sharpen");
+  EXPECT_EQ(apps[5]->name(), "QuasiR");
+}
+
+TEST(AppRegistry, UnknownNameReturnsNull) {
+  EXPECT_EQ(make_application("NoSuchApp"), nullptr);
+}
+
+TEST(AppQos, ImageAppsUsePsnrNumericAppsUseRelErr) {
+  for (const auto& app : make_all_applications()) {
+    const auto kind = app->qos().kind;
+    const bool is_image = app->name() == "Sobel" || app->name() == "Robert" ||
+                          app->name() == "Sharpen";
+    EXPECT_EQ(kind == quality::QosKind::kPsnr, is_image) << app->name();
+  }
+}
+
+}  // namespace
+}  // namespace apim::apps

@@ -1,0 +1,84 @@
+// Tests of the silicon-area model: internal consistency and the paper's
+// qualitative area claims made quantitative.
+#include <gtest/gtest.h>
+
+#include "baseline/prior_adders.hpp"
+#include "core/area_model.hpp"
+
+namespace apim::core {
+namespace {
+
+TEST(AreaModel, TileBreakdownIsPositiveAndSums) {
+  const ChipGeometry g;
+  const AreaReport tile = tile_area(g);
+  EXPECT_GT(tile.cell_area_mm2, 0.0);
+  EXPECT_GT(tile.decoder_area_mm2, 0.0);
+  EXPECT_GT(tile.sense_amp_area_mm2, 0.0);
+  EXPECT_GT(tile.interconnect_area_mm2, 0.0);
+  EXPECT_NEAR(tile.total_mm2(),
+              tile.cell_area_mm2 + tile.decoder_area_mm2 +
+                  tile.sense_amp_area_mm2 + tile.interconnect_area_mm2,
+              1e-12);
+}
+
+TEST(AreaModel, ChipScalesWithTileCount) {
+  ChipGeometry g;
+  const double one = chip_area(g).total_mm2();
+  g.banks *= 2;
+  EXPECT_NEAR(chip_area(g).total_mm2(), 2.0 * one, one * 1e-9);
+}
+
+TEST(AreaModel, ChipIsPlausiblySized) {
+  // A ~1 GiB memristive part with compute blocks: single-die territory
+  // (tens to a few hundred mm^2), not wafer-scale.
+  const ChipGeometry g;
+  const double mm2 = chip_area(g).total_mm2();
+  EXPECT_GT(mm2, 10.0);
+  EXPECT_LT(mm2, 1000.0);
+}
+
+TEST(AreaModel, PimOverheadVsPlainMemory) {
+  // The processing blocks + interconnects cost area relative to a plain
+  // memory of the same data capacity; with 1 data block out of 3 the
+  // overhead is bounded by ~3x cells plus periphery.
+  const ChipGeometry g;
+  const double pim = chip_area(g).total_mm2();
+  const double plain = plain_memory_area(g).total_mm2();
+  EXPECT_GT(pim, plain);
+  EXPECT_LT(pim / plain, 3.5);
+}
+
+TEST(AreaModel, CellsDominatePeriphery) {
+  // Crosspoint density: the cell array should be the majority of the die
+  // for 512x128 tiles (decoders amortize over many rows/columns).
+  const ChipGeometry g;
+  EXPECT_LT(chip_area(g).periphery_fraction(), 0.5);
+}
+
+TEST(AreaModel, SharedControllersBeatPcAdderPrivateOnes) {
+  // The paper's Figure-6 area argument, in mm^2: equipping every block
+  // with its own decoders (the PC-Adder organization) costs more than the
+  // shared-decoder blocked design.
+  const ChipGeometry g;
+  const AreaReport shared = tile_area(g);
+  // Private controllers: one decoder pair per block instead of per tile.
+  const double private_decoder_mm2 =
+      shared.decoder_area_mm2 * static_cast<double>(g.blocks_per_tile);
+  EXPECT_GT(private_decoder_mm2, shared.decoder_area_mm2 * 2.9);
+  // And the transistor-count proxy agrees with the dedicated model.
+  EXPECT_GT(baseline::PcAdder::controller_transistors(3, g.rows, g.cols),
+            2u * baseline::PcAdder::controller_transistors(1, g.rows, g.cols));
+}
+
+TEST(AreaModel, FeatureSizeScalesQuadratically) {
+  ChipGeometry g;
+  AreaParams p45;
+  AreaParams p22;
+  p22.feature_nm = 22.5;
+  const double a45 = chip_area(g, p45).total_mm2();
+  const double a22 = chip_area(g, p22).total_mm2();
+  EXPECT_NEAR(a45 / a22, 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace apim::core

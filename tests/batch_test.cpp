@@ -1,0 +1,111 @@
+// Tests of the batched lane-parallel multiply executor.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "arith/batch.hpp"
+#include "arith/fast_units.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace apim::arith {
+namespace {
+
+const device::EnergyModel& em() {
+  return device::EnergyModel::paper_defaults();
+}
+
+using Pair = std::pair<std::uint64_t, std::uint64_t>;
+
+std::vector<Pair> random_pairs(std::size_t count, unsigned n,
+                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < count; ++i)
+    out.emplace_back(rng.next() & util::low_mask(n),
+                     rng.next() & util::low_mask(n));
+  return out;
+}
+
+TEST(Batch, ProductsMatchScalarExecution) {
+  const auto pairs = random_pairs(50, 16, 111);
+  const BatchOutcome batch =
+      fast_multiply_batch(pairs, 16, ApproxConfig::exact(), em(), 8);
+  ASSERT_EQ(batch.products.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    EXPECT_EQ(batch.products[i], pairs[i].first * pairs[i].second) << i;
+}
+
+TEST(Batch, SingleLaneMakespanEqualsTotal) {
+  const auto pairs = random_pairs(20, 16, 112);
+  const BatchOutcome batch =
+      fast_multiply_batch(pairs, 16, ApproxConfig::exact(), em(), 1);
+  EXPECT_EQ(batch.makespan, batch.total_lane_cycles);
+  EXPECT_DOUBLE_EQ(batch.imbalance(), 1.0);
+}
+
+TEST(Batch, MoreLanesShrinkMakespan) {
+  const auto pairs = random_pairs(256, 32, 113);
+  const BatchOutcome narrow =
+      fast_multiply_batch(pairs, 32, ApproxConfig::exact(), em(), 4);
+  const BatchOutcome wide =
+      fast_multiply_batch(pairs, 32, ApproxConfig::exact(), em(), 64);
+  EXPECT_LT(wide.makespan, narrow.makespan);
+  // Energy is lane-independent.
+  EXPECT_DOUBLE_EQ(wide.energy_ops_pj, narrow.energy_ops_pj);
+  EXPECT_EQ(wide.total_lane_cycles, narrow.total_lane_cycles);
+}
+
+TEST(Batch, ImbalanceIsSmallForLargeBatches) {
+  // The balanced-load idealization used by ApimDevice: with many ops per
+  // lane, data-dependent latency variation averages out. This quantifies
+  // the error of that assumption at Figure-5 scale.
+  const auto pairs = random_pairs(4096, 32, 114);
+  const BatchOutcome batch =
+      fast_multiply_batch(pairs, 32, ApproxConfig::exact(), em(), 64);
+  EXPECT_GE(batch.imbalance(), 1.0);
+  EXPECT_LT(batch.imbalance(), 1.05);  // <5% makespan inflation.
+}
+
+TEST(Batch, ImbalanceIsLargerForTinyBatches) {
+  // One op per lane: makespan = slowest single op. Multiply latency is
+  // tightly concentrated (popcount varies by a few cycles on ~930), so the
+  // inflation is small — but it must exceed the many-ops-per-lane case,
+  // where averaging tightens it further.
+  const BatchOutcome tiny = fast_multiply_batch(
+      random_pairs(64, 32, 115), 32, ApproxConfig::exact(), em(), 64);
+  const BatchOutcome large = fast_multiply_batch(
+      random_pairs(4096, 32, 115), 32, ApproxConfig::exact(), em(), 64);
+  EXPECT_GT(tiny.imbalance(), large.imbalance());
+  EXPECT_GT(tiny.imbalance(), 1.005);
+}
+
+TEST(Batch, LanesClampedToBatchSize) {
+  const auto pairs = random_pairs(3, 8, 116);
+  const BatchOutcome batch =
+      fast_multiply_batch(pairs, 8, ApproxConfig::exact(), em(), 100);
+  EXPECT_EQ(batch.lanes_used, 3u);
+}
+
+TEST(Batch, EmptyBatch) {
+  const std::vector<Pair> none;
+  const BatchOutcome batch =
+      fast_multiply_batch(none, 16, ApproxConfig::exact(), em(), 4);
+  EXPECT_TRUE(batch.products.empty());
+  EXPECT_EQ(batch.makespan, 0u);
+}
+
+TEST(Batch, ApproximationAppliesPerLaneOp) {
+  const auto pairs = random_pairs(32, 32, 117);
+  const BatchOutcome exact =
+      fast_multiply_batch(pairs, 32, ApproxConfig::exact(), em(), 8);
+  const BatchOutcome relaxed =
+      fast_multiply_batch(pairs, 32, ApproxConfig::last_stage(32), em(), 8);
+  EXPECT_LT(relaxed.makespan, exact.makespan);
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    EXPECT_EQ(relaxed.products[i] >> 32, (pairs[i].first * pairs[i].second) >> 32);
+}
+
+}  // namespace
+}  // namespace apim::arith

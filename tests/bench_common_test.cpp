@@ -1,0 +1,98 @@
+// Tests of the bench harness plumbing (bench_common): the shape checker,
+// the app sampler, and the paper reference data — the code every
+// experiment reproduction runs through.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "bench_common.hpp"
+#include "core/apim.hpp"
+
+namespace apim::bench {
+namespace {
+
+TEST(ShapeChecker, PassAndFailAggregation) {
+  ShapeChecker ok;
+  ok.check("a", true);
+  ok.check_range("b", 5.0, 1.0, 10.0);
+  EXPECT_EQ(ok.finish(), 0);
+
+  ShapeChecker bad;
+  bad.check("a", true);
+  bad.check("b", false);
+  EXPECT_EQ(bad.finish(), 1);
+}
+
+TEST(ShapeChecker, RangeBoundsInclusive) {
+  ShapeChecker checker;
+  checker.check_range("low edge", 1.0, 1.0, 2.0);
+  checker.check_range("high edge", 2.0, 1.0, 2.0);
+  EXPECT_EQ(checker.finish(), 0);
+  ShapeChecker outside;
+  outside.check_range("below", 0.999, 1.0, 2.0);
+  EXPECT_EQ(outside.finish(), 1);
+}
+
+TEST(AppSample, MatchesDirectDeviceAccounting) {
+  auto app = apps::make_application("QuasiR");
+  app->generate(512, kSampleSeed);
+  const AppSample sample = sample_app(*app, /*relax=*/0);
+
+  core::ApimDevice device;
+  const auto golden = app->run_golden();
+  const auto out = app->run_apim(device);
+  const double elements = static_cast<double>(app->element_count());
+  EXPECT_DOUBLE_EQ(sample.cycles_per_element,
+                   static_cast<double>(device.stats().cycles) / elements);
+  EXPECT_DOUBLE_EQ(sample.energy_pj_per_element,
+                   device.energy_pj() / elements);
+  EXPECT_EQ(sample.elements, app->element_count());
+  EXPECT_TRUE(sample.acceptable);  // Exact mode always meets QoS.
+  EXPECT_EQ(sample.loss, 0.0);
+  (void)golden;
+  (void)out;
+}
+
+TEST(AppSample, TimeAndEdpScaleWithLanes) {
+  auto app = apps::make_application("QuasiR");
+  app->generate(256, kSampleSeed);
+  const AppSample sample = sample_app(*app, 0);
+  EXPECT_NEAR(sample.seconds_per_element(1) /
+                  sample.seconds_per_element(1000),
+              1000.0, 1e-6);
+  EXPECT_GT(sample.edp_per_element_js(1000), 0.0);
+}
+
+TEST(Table1Reference, MatchesThePaperStructure) {
+  // Six apps, EDP improvements strictly increasing in m, QoL
+  // non-decreasing, m=0 loss-free — the paper's own table obeys these.
+  ASSERT_EQ(std::size(kTable1Paper), 6u);
+  for (const auto& row : kTable1Paper) {
+    EXPECT_EQ(row.qol_percent[0], 0.0) << row.app;
+    for (int i = 1; i < 6; ++i) {
+      EXPECT_GT(row.edp_improvement[i], row.edp_improvement[i - 1])
+          << row.app;
+      EXPECT_GE(row.qol_percent[i], row.qol_percent[i - 1]) << row.app;
+    }
+  }
+  // Cross-app anchor ordering at m=0: FFT > Robert > Sharpen > Sobel >
+  // DwtHaar1D > QuasiR (as printed in the paper).
+  EXPECT_GT(kTable1Paper[2].edp_improvement[0],
+            kTable1Paper[1].edp_improvement[0]);
+  EXPECT_GT(kTable1Paper[1].edp_improvement[0],
+            kTable1Paper[4].edp_improvement[0]);
+  EXPECT_GT(kTable1Paper[4].edp_improvement[0],
+            kTable1Paper[0].edp_improvement[0]);
+  EXPECT_GT(kTable1Paper[0].edp_improvement[0],
+            kTable1Paper[3].edp_improvement[0]);
+  EXPECT_GT(kTable1Paper[3].edp_improvement[0],
+            kTable1Paper[5].edp_improvement[0]);
+}
+
+TEST(Helpers, ElementCounting) {
+  EXPECT_DOUBLE_EQ(elements_in(1024.0), 256.0);
+  EXPECT_DOUBLE_EQ(elements_in(kTable1DatasetBytes),
+                   kTable1DatasetBytes / 4.0);
+}
+
+}  // namespace
+}  // namespace apim::bench

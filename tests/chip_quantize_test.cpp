@@ -1,0 +1,94 @@
+// Tests of the chip-organization model and the quantization helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/chip.hpp"
+#include "core/quantize.hpp"
+
+namespace apim::core {
+namespace {
+
+TEST(Chip, DefaultGeometryHoldsAGigabyteAndMatchesCalibratedLanes) {
+  const ApimChip chip;
+  EXPECT_GE(chip.capacity_bytes(), 1024.0 * 1024 * 1024);
+  EXPECT_TRUE(chip.fits(1024.0 * 1024 * 1024));
+  EXPECT_FALSE(chip.fits(8.0 * 1024 * 1024 * 1024));
+  // The default ApimConfig lane count is derived from this organization.
+  EXPECT_EQ(chip.parallel_lanes(), ApimConfig{}.parallel_lanes);
+}
+
+TEST(Chip, ConfigCarriesLaneCount) {
+  ChipGeometry g;
+  g.banks = 4;
+  g.active_tiles_per_bank = 10;
+  const ApimChip chip(g);
+  EXPECT_EQ(chip.make_config().parallel_lanes, 40u);
+}
+
+TEST(Chip, ProcessingAreaOverhead) {
+  // 1 data + 2 processing blocks: two thirds of the cells serve compute.
+  const ApimChip chip;
+  EXPECT_NEAR(chip.processing_area_overhead(), 2.0 / 3.0, 1e-12);
+  ChipGeometry flat;
+  flat.blocks_per_tile = 2;
+  EXPECT_NEAR(ApimChip(flat).processing_area_overhead(), 0.5, 1e-12);
+}
+
+TEST(Chip, CellCountScalesWithGeometry) {
+  ChipGeometry g;
+  const double base = ApimChip(g).total_cells();
+  g.banks *= 2;
+  EXPECT_NEAR(ApimChip(g).total_cells(), 2.0 * base, 1.0);
+}
+
+TEST(Quantize, ChooseFormatCoversRange) {
+  // Pure fractions get all bits as fraction.
+  const auto frac = choose_format(0.9, 32);
+  EXPECT_EQ(frac.integer_bits, 0u);
+  EXPECT_EQ(frac.frac_bits, 32u);
+  // Pixel-scale values.
+  const auto pixel = choose_format(255.0, 32);
+  EXPECT_EQ(pixel.integer_bits, 8u);
+  EXPECT_GE(pixel.max_value(), 255.0);
+  // Larger ranges shrink the fraction.
+  const auto big = choose_format(100000.0, 32);
+  EXPECT_EQ(big.integer_bits, 17u);
+}
+
+TEST(Quantize, RoundTripAccuracyWithinHalfLsb) {
+  const auto fmt = choose_format(1.0, 32);
+  const std::vector<double> values{0.125, -0.5, 0.9999, -0.0001, 0.0};
+  const auto raws = quantize(values, fmt);
+  const auto back = dequantize(raws, fmt);
+  const double bound = quantization_error_bound(fmt);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(back[i], values[i], 2.0 * bound) << i;
+}
+
+TEST(Quantize, ErrorBoundShrinksWithFraction) {
+  EXPECT_LT(quantization_error_bound(util::FixedPointFormat{0, 32}),
+            quantization_error_bound(util::FixedPointFormat{16, 16}));
+}
+
+TEST(Quantize, RelaxationBoundFallsWithMagnitude) {
+  const auto fmt = util::kQ16_16;
+  // Bigger operands push products above the relaxed region.
+  EXPECT_GT(relaxation_error_bound(0.01, fmt, 32),
+            relaxation_error_bound(10.0, fmt, 32));
+  // Fewer relax bits, less error.
+  EXPECT_GT(relaxation_error_bound(1.0, fmt, 32),
+            relaxation_error_bound(1.0, fmt, 16));
+}
+
+TEST(Quantize, FormatChoiceMinimizesRelaxationError) {
+  // The point of choose_format: for unit-scale data, the full-fraction
+  // format keeps relaxed-multiply error orders below a Q16.16 mapping.
+  const auto chosen = choose_format(1.0, 32);
+  const double with_chosen = relaxation_error_bound(0.5, chosen, 24);
+  const double with_q16 = relaxation_error_bound(0.5, util::kQ16_16, 24);
+  EXPECT_LT(with_chosen, with_q16 / 1000.0);
+}
+
+}  // namespace
+}  // namespace apim::core

@@ -1,0 +1,75 @@
+// Tests of the analytic relaxed-adder error model against Monte-Carlo
+// measurement of the actual arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/error_model.hpp"
+
+namespace apim::arith {
+namespace {
+
+TEST(ErrorModel, BitErrorRateIsTwentyFivePercent) {
+  EXPECT_DOUBLE_EQ(relaxed_bit_error_rate(), 0.25);
+  const MeasuredError measured =
+      measure_relaxed_add_error(48, 48, 4000, 101);
+  EXPECT_NEAR(measured.bit_error_rate, 0.25, 0.01);
+}
+
+TEST(ErrorModel, ErrorIsZeroMean) {
+  // Symmetric +-2^i contributions: the empirical mean must be small
+  // relative to the RMS.
+  const unsigned m = 24;
+  const MeasuredError measured = measure_relaxed_add_error(48, m, 8000, 102);
+  EXPECT_LT(std::abs(measured.mean), 0.1 * relaxed_add_error_rms(m));
+}
+
+TEST(ErrorModel, RmsMatchesClosedFormWithinTolerance) {
+  // The closed form includes the 4/3 carry-correlation variance factor;
+  // with it, Monte-Carlo agrees to a few percent, pinning the adder
+  // semantics against regressions.
+  for (unsigned m : {8u, 16u, 24u, 32u}) {
+    const double analytic = relaxed_add_error_rms(m);
+    const MeasuredError measured =
+        measure_relaxed_add_error(48, m, 6000, 103 + m);
+    EXPECT_NEAR(measured.rms / analytic, 1.0, 0.06) << "m=" << m;
+  }
+}
+
+TEST(ErrorModel, HardBoundNeverViolated) {
+  for (unsigned m : {4u, 12u, 20u, 28u}) {
+    const MeasuredError measured =
+        measure_relaxed_add_error(40, m, 3000, 104 + m);
+    EXPECT_LT(measured.max_abs, relaxed_add_error_bound(m)) << "m=" << m;
+    // And the bound is not absurdly loose: the worst observed error should
+    // reach at least a quarter of it over thousands of trials.
+    EXPECT_GT(measured.max_abs, relaxed_add_error_bound(m) / 4.0) << m;
+  }
+}
+
+TEST(ErrorModel, RmsGrowsGeometrically) {
+  // Each extra relax bit roughly doubles the RMS.
+  EXPECT_NEAR(relaxed_add_error_rms(20) / relaxed_add_error_rms(19), 2.0,
+              0.01);
+  EXPECT_NEAR(relaxed_add_error_rms(32) / relaxed_add_error_rms(24), 256.0,
+              1.0);
+}
+
+TEST(ErrorModel, MultiplyRelativeRmsShrinksWithOperandWidth) {
+  // Same m hurts narrower multipliers more (the product is smaller).
+  EXPECT_GT(relaxed_multiply_relative_rms(16, 16),
+            relaxed_multiply_relative_rms(32, 16));
+  // And grows with m at fixed width.
+  EXPECT_GT(relaxed_multiply_relative_rms(32, 32),
+            relaxed_multiply_relative_rms(32, 16));
+}
+
+TEST(ErrorModel, ZeroRelaxMeansZeroError) {
+  EXPECT_DOUBLE_EQ(relaxed_add_error_rms(0), 0.0);
+  const MeasuredError measured = measure_relaxed_add_error(32, 0, 100, 105);
+  EXPECT_EQ(measured.rms, 0.0);
+  EXPECT_EQ(measured.max_abs, 0.0);
+}
+
+}  // namespace
+}  // namespace apim::arith

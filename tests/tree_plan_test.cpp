@@ -1,0 +1,137 @@
+// Tests of the Wallace-tree reduction planner.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "arith/fa_schedule.hpp"
+#include "arith/tree_plan.hpp"
+
+namespace apim::arith {
+namespace {
+
+std::vector<unsigned> uniform_widths(std::size_t count, unsigned w) {
+  return std::vector<unsigned>(count, w);
+}
+
+TEST(TreePlan, StageCountMatchesPaperExample) {
+  // Paper Figure 2(b): nine operands reduce to two in four stages.
+  EXPECT_EQ(reduction_stage_count(9), 4u);
+  EXPECT_EQ(reduction_stage_count(3), 1u);
+  EXPECT_EQ(reduction_stage_count(2), 0u);
+  EXPECT_EQ(reduction_stage_count(1), 0u);
+  EXPECT_EQ(reduction_stage_count(4), 2u);
+  EXPECT_EQ(reduction_stage_count(32), 8u);
+}
+
+TEST(TreePlan, PlanStagesMatchClosedForm) {
+  for (std::size_t m = 3; m <= 40; ++m) {
+    const auto widths = uniform_widths(m, 8);
+    const TreePlan plan = plan_tree_reduction(widths, 16, 1, 2);
+    EXPECT_EQ(plan.stages.size(), reduction_stage_count(m)) << "M=" << m;
+    EXPECT_EQ(plan.final_ids.size(), 2u);
+  }
+}
+
+TEST(TreePlan, NineOperandFinalWidthGrowsOnePerStage) {
+  // Paper Section 3.2 quotes "two (N+3)-bit numbers" for nine addends; our
+  // planner uses the safe bound of one extra bit per traversed stage,
+  // capped at n + ceil(log2 M) = N+4 (nine maximal operands genuinely need
+  // 2^(N+3) < 9*2^N, so N+3 would under-provision the worst case).
+  const unsigned n = 16;
+  const auto widths = uniform_widths(9, n);
+  const TreePlan plan = plan_tree_reduction(widths, n + 4, 1, 2);
+  for (std::size_t id : plan.final_ids) {
+    EXPECT_GE(plan.operands[id].width, n + 3);
+    EXPECT_LE(plan.operands[id].width, n + 4);
+  }
+}
+
+TEST(TreePlan, TargetBlockAlternates) {
+  const auto widths = uniform_widths(9, 8);
+  const TreePlan plan = plan_tree_reduction(widths, 16, 1, 2);
+  ASSERT_EQ(plan.stages.size(), 4u);
+  EXPECT_EQ(plan.stages[0].target_block, 2u);
+  EXPECT_EQ(plan.stages[1].target_block, 1u);
+  EXPECT_EQ(plan.stages[2].target_block, 2u);
+  EXPECT_EQ(plan.stages[3].target_block, 1u);
+}
+
+TEST(TreePlan, FinalOperandsShareABlock) {
+  // The multiplier's final-stage adder (and its MAJ sense path) requires
+  // the two survivors on the same block.
+  for (std::size_t m = 2; m <= 33; ++m) {
+    const auto widths = uniform_widths(m, 8);
+    const TreePlan plan = plan_tree_reduction(widths, 16, 1, 2);
+    ASSERT_EQ(plan.final_ids.size(), 2u) << "M=" << m;
+    EXPECT_EQ(plan.operands[plan.final_ids[0]].block,
+              plan.operands[plan.final_ids[1]].block)
+        << "M=" << m;
+  }
+}
+
+TEST(TreePlan, ScratchBandsNeverOverlapWithinABlock) {
+  const auto widths = uniform_widths(32, 40);
+  const TreePlan plan = plan_tree_reduction(widths, 64, 1, 2);
+  // Collect [row, row+12) bands per block, ensure pairwise disjoint, and
+  // disjoint from the initial operand rows in block 1.
+  std::set<std::pair<std::size_t, std::size_t>> cells;  // (block, row)
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const TreeOperand& op = plan.operands[i];
+    EXPECT_TRUE(cells.insert({op.block, op.row}).second);
+  }
+  for (const TreeStage& stage : plan.stages)
+    for (const TreeGroup& g : stage.groups)
+      for (unsigned r = 0; r < kFaScratchSlots; ++r)
+        EXPECT_TRUE(
+            cells.insert({stage.target_block, g.scratch_row + r}).second)
+            << "block " << stage.target_block << " row "
+            << g.scratch_row + r;
+}
+
+TEST(TreePlan, WidthsAreCapped) {
+  const auto widths = uniform_widths(32, 63);
+  const TreePlan plan = plan_tree_reduction(widths, 64, 1, 2);
+  for (const TreeOperand& op : plan.operands) EXPECT_LE(op.width, 64u);
+  EXPECT_LE(plan.max_col, 64u);
+}
+
+TEST(TreePlan, GroupWidthIsMaxInputPlusOne) {
+  const std::vector<unsigned> widths{4, 7, 5};
+  const TreePlan plan = plan_tree_reduction(widths, 16, 1, 2);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  ASSERT_EQ(plan.stages[0].groups.size(), 1u);
+  EXPECT_EQ(plan.stages[0].groups[0].fa_width, 8u);
+}
+
+TEST(TreePlan, PassThroughOperandsStayPut) {
+  const auto widths = uniform_widths(4, 8);  // 4 -> group(3) + 1 leftover.
+  const TreePlan plan = plan_tree_reduction(widths, 16, 1, 2);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  ASSERT_EQ(plan.stages[0].pass_through.size(), 1u);
+  const std::size_t leftover = plan.stages[0].pass_through[0];
+  EXPECT_EQ(leftover, 3u);  // The fourth initial operand.
+  EXPECT_EQ(plan.operands[leftover].block, 1u);  // Never moved.
+}
+
+TEST(TreePlan, RowsUsedCoverAllPlacements) {
+  const auto widths = uniform_widths(20, 16);
+  const TreePlan plan = plan_tree_reduction(widths, 32, 1, 2);
+  for (const TreeOperand& op : plan.operands) {
+    const std::size_t bound =
+        op.block == 1 ? plan.rows_used_block_a : plan.rows_used_block_b;
+    EXPECT_LT(op.row, bound);
+  }
+}
+
+TEST(TreePlan, TwoOperandsProduceEmptyPlan) {
+  const auto widths = uniform_widths(2, 8);
+  const TreePlan plan = plan_tree_reduction(widths, 16, 1, 2);
+  EXPECT_TRUE(plan.stages.empty());
+  EXPECT_EQ(plan.final_ids.size(), 2u);
+  EXPECT_EQ(plan.final_ids[0], 0u);
+  EXPECT_EQ(plan.final_ids[1], 1u);
+}
+
+}  // namespace
+}  // namespace apim::arith

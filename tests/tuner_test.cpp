@@ -1,0 +1,79 @@
+// Tests of the adaptive accuracy tuner (paper Section 4.1: start at 32
+// relax bits, step down by 4 until QoS is met).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace apim::core {
+namespace {
+
+TEST(Tuner, AcceptsMaxRelaxWhenErrorIsLow) {
+  const AccuracyTuner tuner;
+  const TunerResult r = tuner.tune([](unsigned) { return 0.01; }, 0.10);
+  EXPECT_TRUE(r.met_qos);
+  EXPECT_EQ(r.relax_bits, 32u);
+  EXPECT_EQ(r.history.size(), 1u);
+}
+
+TEST(Tuner, StepsDownInFours) {
+  // Error model: acceptable only at m <= 20.
+  const AccuracyTuner tuner;
+  const TunerResult r = tuner.tune(
+      [](unsigned m) { return m > 20 ? 0.5 : 0.05; }, 0.10);
+  EXPECT_TRUE(r.met_qos);
+  EXPECT_EQ(r.relax_bits, 20u);
+  std::vector<unsigned> visited;
+  for (const TunerStep& s : r.history) visited.push_back(s.relax_bits);
+  EXPECT_EQ(visited, (std::vector<unsigned>{32, 28, 24, 20}));
+}
+
+TEST(Tuner, FallsBackToExact) {
+  const AccuracyTuner tuner;
+  const TunerResult r = tuner.tune(
+      [](unsigned m) { return m == 0 ? 0.0 : 1.0; }, 0.10);
+  EXPECT_TRUE(r.met_qos);
+  EXPECT_EQ(r.relax_bits, 0u);
+  EXPECT_EQ(r.history.size(), 9u);  // 32,28,...,4,0.
+}
+
+TEST(Tuner, ReportsFailureWhenEvenExactMisses) {
+  const AccuracyTuner tuner;
+  const TunerResult r = tuner.tune([](unsigned) { return 1.0; }, 0.10);
+  EXPECT_FALSE(r.met_qos);
+  EXPECT_EQ(r.relax_bits, 0u);
+}
+
+TEST(Tuner, MonotoneErrorPicksLargestAcceptable) {
+  // With monotone error in m, the first acceptable m encountered while
+  // stepping down is the largest acceptable multiple of the step size.
+  const AccuracyTuner tuner;
+  const auto error = [](unsigned m) { return 0.004 * m; };
+  const TunerResult r = tuner.tune(error, 0.10);
+  EXPECT_TRUE(r.met_qos);
+  EXPECT_EQ(r.relax_bits, 24u);  // 0.004*24 = 0.096 <= 0.1 < 0.112.
+}
+
+TEST(Tuner, CustomStartAndStep) {
+  const AccuracyTuner tuner(16, 8);
+  const TunerResult r = tuner.tune(
+      [](unsigned m) { return m >= 9 ? 1.0 : 0.0; }, 0.5);
+  EXPECT_TRUE(r.met_qos);
+  EXPECT_EQ(r.relax_bits, 8u);
+  std::vector<unsigned> visited;
+  for (const TunerStep& s : r.history) visited.push_back(s.relax_bits);
+  EXPECT_EQ(visited, (std::vector<unsigned>{16, 8}));
+}
+
+TEST(Tuner, HistoryRecordsAcceptability) {
+  const AccuracyTuner tuner;
+  const TunerResult r = tuner.tune(
+      [](unsigned m) { return m > 28 ? 0.2 : 0.01; }, 0.10);
+  ASSERT_EQ(r.history.size(), 2u);
+  EXPECT_FALSE(r.history[0].acceptable);
+  EXPECT_TRUE(r.history[1].acceptable);
+}
+
+}  // namespace
+}  // namespace apim::core

@@ -1,0 +1,104 @@
+// Tests of the 64x64 wide multiply built from 32-bit in-memory primitives,
+// differentially validated against native 128-bit host arithmetic.
+#include <gtest/gtest.h>
+
+#include "arith/latency_model.hpp"
+#include "arith/wide_mult.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace apim::arith {
+namespace {
+
+const device::EnergyModel& em() {
+  return device::EnergyModel::paper_defaults();
+}
+
+TEST(WideMultiply, ExactAgainstInt128) {
+  util::Xoshiro256 rng(121);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    const WideMultiplyOutcome r =
+        fast_multiply_wide(a, b, ApproxConfig::exact(), em());
+    const unsigned __int128 expect =
+        static_cast<unsigned __int128>(a) * b;
+    EXPECT_EQ(r.lo, static_cast<std::uint64_t>(expect));
+    EXPECT_EQ(r.hi, static_cast<std::uint64_t>(expect >> 64));
+  }
+}
+
+TEST(WideMultiply, EdgeOperands) {
+  const std::uint64_t max = ~std::uint64_t{0};
+  const auto zero = fast_multiply_wide(0, max, ApproxConfig::exact(), em());
+  EXPECT_EQ(zero.lo, 0u);
+  EXPECT_EQ(zero.hi, 0u);
+  const auto one = fast_multiply_wide(1, max, ApproxConfig::exact(), em());
+  EXPECT_EQ(one.lo, max);
+  EXPECT_EQ(one.hi, 0u);
+  // max * max = 2^128 - 2^65 + 1.
+  const auto full = fast_multiply_wide(max, max, ApproxConfig::exact(), em());
+  EXPECT_EQ(full.lo, 1u);
+  EXPECT_EQ(full.hi, max - 1);
+}
+
+TEST(WideMultiply, CrossTermCarryHandled) {
+  // Operands crafted so p_lh + p_hl overflows 64 bits: a_lo, a_hi, b_lo,
+  // b_hi all near 2^32.
+  const std::uint64_t a = 0xFFFFFFFF'FFFFFFF0ull;
+  const std::uint64_t b = 0xFFFFFFF0'FFFFFFFFull;
+  const WideMultiplyOutcome r =
+      fast_multiply_wide(a, b, ApproxConfig::exact(), em());
+  const unsigned __int128 expect = static_cast<unsigned __int128>(a) * b;
+  EXPECT_EQ(r.lo, static_cast<std::uint64_t>(expect));
+  EXPECT_EQ(r.hi, static_cast<std::uint64_t>(expect >> 64));
+}
+
+TEST(WideMultiply, CostIsFourMultipliesPlusSixAdds) {
+  util::Xoshiro256 rng(122);
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.next();
+  const WideMultiplyOutcome r =
+      fast_multiply_wide(a, b, ApproxConfig::exact(), em());
+  EXPECT_EQ(r.multiplies, 4u);
+  EXPECT_EQ(r.additions, 6u);
+  // Cycles dominated by the four pipelines plus six serial 32-bit adds.
+  EXPECT_GT(r.cycles, 6u * serial_add_cycles(32));
+  EXPECT_LT(r.cycles, 4u * 1200 + 6u * serial_add_cycles(32));
+}
+
+TEST(WideMultiply, RelaxedErrorBounded) {
+  // Each of the four partials errs by < 2^m; weighted by their shifts
+  // (1, 2^32, 2^32, 2^64) the 128-bit error is < 2^m * (1 + 2*2^32 + 2^64)
+  // < 2^(m+65).
+  util::Xoshiro256 rng(123);
+  const unsigned m = 24;
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    const WideMultiplyOutcome r =
+        fast_multiply_wide(a, b, ApproxConfig::last_stage(m), em());
+    const unsigned __int128 exact = static_cast<unsigned __int128>(a) * b;
+    const unsigned __int128 approx =
+        (static_cast<unsigned __int128>(r.hi) << 64) | r.lo;
+    const unsigned __int128 diff = approx > exact ? approx - exact
+                                                  : exact - approx;
+    const unsigned __int128 bound = static_cast<unsigned __int128>(1)
+                                    << (m + 65);
+    EXPECT_TRUE(diff < bound) << "trial " << t;
+  }
+}
+
+TEST(WideMultiply, RelaxationStillSpeedsUp) {
+  util::Xoshiro256 rng(124);
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.next();
+  const auto exact = fast_multiply_wide(a, b, ApproxConfig::exact(), em());
+  const auto relaxed =
+      fast_multiply_wide(a, b, ApproxConfig::last_stage(32), em());
+  EXPECT_LT(relaxed.cycles, exact.cycles);
+  EXPECT_LT(relaxed.energy_ops_pj, exact.energy_ops_pj);
+}
+
+}  // namespace
+}  // namespace apim::arith

@@ -1,0 +1,118 @@
+// apim_asm: assemble and run an APIM kernel file.
+//
+//   apim_asm kernel.s                  # assemble + run, empty memory
+//   apim_asm kernel.s --mem 1,2,3,4    # preload data memory
+//   apim_asm kernel.s --memsize 64     # zero-filled memory of 64 words
+//   apim_asm kernel.s --relax 24       # device approximation setting
+//   apim_asm kernel.s --disasm         # print the assembled program only
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+
+namespace {
+
+using namespace apim;
+
+std::vector<std::int64_t> parse_memory(const std::string& list) {
+  std::vector<std::int64_t> memory;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    memory.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return memory;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s KERNEL.s [--mem v0,v1,...] [--memsize N] "
+                 "[--relax M] [--disasm]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::string path = argv[1];
+  std::vector<std::int64_t> memory;
+  std::size_t memsize = 0;
+  unsigned relax = 0;
+  bool disasm_only = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mem" && i + 1 < argc) {
+      memory = parse_memory(argv[++i]);
+    } else if (arg == "--memsize" && i + 1 < argc) {
+      memsize = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--relax" && i + 1 < argc) {
+      relax = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--disasm") {
+      disasm_only = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (memsize > memory.size()) memory.resize(memsize, 0);
+  if (memory.empty()) memory.resize(16, 0);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  isa::Program program;
+  try {
+    program = isa::assemble(buffer.str());
+  } catch (const isa::AssemblyError& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  if (disasm_only) {
+    std::fputs(program.disassemble().c_str(), stdout);
+    return 0;
+  }
+
+  core::ApimConfig cfg;
+  cfg.approx.relax_bits = relax;
+  core::ApimDevice device{cfg};
+  isa::Interpreter interpreter(device);
+  isa::ExecutionResult result;
+  try {
+    result = interpreter.run(program, memory);
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "runtime fault: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("halted: %s after %llu instructions (%llu data ops)\n",
+              result.halted ? "yes" : "NO (fuel exhausted)",
+              static_cast<unsigned long long>(result.instructions_executed),
+              static_cast<unsigned long long>(result.data_ops));
+  std::printf("device: %llu cycles, %.4g pJ, EDP %.4g J*s\n",
+              static_cast<unsigned long long>(device.stats().cycles),
+              device.energy_pj(), device.edp_js());
+  std::printf("registers (non-zero):\n");
+  for (std::size_t r = 1; r < result.registers.size(); ++r)
+    if (result.registers[r] != 0)
+      std::printf("  r%-2zu = %lld\n", r,
+                  static_cast<long long>(result.registers[r]));
+  std::printf("memory:\n ");
+  for (std::size_t i = 0; i < memory.size(); ++i) {
+    std::printf(" %lld", static_cast<long long>(memory[i]));
+    if (i % 8 == 7 && i + 1 < memory.size()) std::printf("\n ");
+  }
+  std::puts("");
+  return result.halted ? 0 : 1;
+}
