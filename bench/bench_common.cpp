@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace apim::bench {
@@ -28,6 +31,29 @@ int ShapeChecker::finish() const {
   std::printf("%s\n", all_ok ? "ALL SHAPE CHECKS PASSED"
                              : "SHAPE CHECK FAILURES PRESENT");
   return all_ok ? 0 : 1;
+}
+
+std::size_t configure_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    }
+    if (value) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end != value && parsed >= 1) {
+        util::set_thread_count(static_cast<std::size_t>(parsed));
+        break;
+      }
+      std::fprintf(stderr, "ignoring malformed --threads value '%s'\n",
+                   value);
+    }
+  }
+  return util::configured_thread_count();
 }
 
 double AppSample::seconds_per_element(std::size_t lanes) const {

@@ -8,6 +8,7 @@
 // the models are caught by simply running the bench suite.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -58,6 +59,14 @@ struct AppSample {
 /// The golden output is recomputed internally for the quality evaluation.
 [[nodiscard]] AppSample sample_app(const apps::Application& app,
                                    unsigned relax_bits);
+
+/// Host-parallelism knob shared by the bench binaries and examples: parses
+/// `--threads N` (or `--threads=N`) from argv and configures the global
+/// thread pool (util/thread_pool.hpp); without the flag the pool keeps its
+/// default (`APIM_THREADS` env var, else hardware concurrency). Returns
+/// the effective thread count. Results are bit-identical for every
+/// setting — the knob only changes host wall-clock time.
+std::size_t configure_threads(int argc, char** argv);
 
 /// Number of 32-bit elements in a dataset of `bytes` bytes.
 [[nodiscard]] inline double elements_in(double bytes) { return bytes / 4.0; }

@@ -27,10 +27,12 @@ constexpr const char* kApps[] = {"Sobel", "Robert", "FFT", "DwtHaar1D"};
 
 }  // namespace
 
-int main() {
-  std::puts(
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::configure_threads(argc, argv);
+  std::printf(
       "=== Figure 5: exact APIM energy saving & speedup vs GPU over "
-      "dataset size ===\n");
+      "dataset size === (%zu host threads)\n\n",
+      threads);
 
   const std::vector<double> datasets = {
       32.0 * 1024 * 1024,  64.0 * 1024 * 1024,  128.0 * 1024 * 1024,

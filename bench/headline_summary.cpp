@@ -21,7 +21,8 @@ using namespace apim;
 constexpr double kOneGiB = 1024.0 * 1024 * 1024;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::configure_threads(argc, argv);
   std::puts("=== Headline claims summary ===\n");
   const baseline::GpuModel gpu;
   const core::ApimConfig apim_cfg;

@@ -6,12 +6,18 @@
 // size their experiments.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "arith/batch.hpp"
 #include "arith/fast_units.hpp"
 #include "arith/inmemory_units.hpp"
 #include "arith/word_models.hpp"
 #include "core/apim.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -65,6 +71,30 @@ void BM_WordSerialAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WordSerialAdd);
+
+// Host-side scaling of the batched multiply path over the thread pool.
+// Arg = thread count. The products/cycles/energy are bit-identical across
+// all Args (tests/parallel_exec_test.cpp asserts this); only wall-clock
+// time changes. On a >= 4-core host Arg(4) should run >= 2x faster than
+// Arg(1) for this 10k-element batch.
+void BM_FastMultiplyBatch10k(benchmark::State& state) {
+  constexpr std::size_t kBatch = 10000;
+  util::Xoshiro256 rng(6);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  ops.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    ops.emplace_back(rng.next() & util::low_mask(32),
+                     rng.next() & util::low_mask(32));
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arith::fast_multiply_batch(
+        ops, 32, arith::ApproxConfig::exact(), em(), /*lanes=*/256));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  util::set_thread_count(0);  // Restore the default for later benchmarks.
+}
+BENCHMARK(BM_FastMultiplyBatch10k)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_DeviceMac(benchmark::State& state) {
   core::ApimDevice dev;

@@ -35,11 +35,13 @@ struct AppResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::configure_threads(argc, argv);
   std::puts("=== Table 1: QoL and EDP improvement vs GPU per relax level ===");
   std::printf("(reference dataset %s; QoL = normalized quality loss; paper "
-              "values in parentheses)\n\n",
-              util::format_bytes(bench::kTable1DatasetBytes).c_str());
+              "values in parentheses; %zu host threads)\n\n",
+              util::format_bytes(bench::kTable1DatasetBytes).c_str(),
+              threads);
 
   const baseline::GpuModel gpu;
   const core::ApimConfig apim_cfg;

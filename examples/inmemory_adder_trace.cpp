@@ -14,6 +14,7 @@
 #include "arith/inmemory_units.hpp"
 #include "arith/latency_model.hpp"
 #include "device/energy_model.hpp"
+#include "util/bitops.hpp"
 
 int main() {
   using namespace apim;
@@ -23,8 +24,8 @@ int main() {
 
   // Serial ripple adder (the Talati-style baseline APIM builds on).
   for (unsigned n : {8u, 16u, 32u}) {
-    const auto r = arith::inmemory_serial_add(0xA5A5A5A5 & ((1ull << n) - 1),
-                                              0x5A5A5A5A & ((1ull << n) - 1),
+    const auto r = arith::inmemory_serial_add(0xA5A5A5A5 & util::mask_n(n),
+                                              0x5A5A5A5A & util::mask_n(n),
                                               n, em);
     std::printf("serial %2u-bit add: value=%llu  cycles=%llu (formula 12N+1 = "
                 "%llu)  energy=%.2f pJ\n",
@@ -37,8 +38,7 @@ int main() {
   // Carry-save 3:2 stage: width-independent latency.
   std::puts("");
   for (unsigned width : {8u, 32u, 48u}) {
-    const std::uint64_t mask =
-        width >= 64 ? ~0ull : ((1ull << width) - 1);
+    const std::uint64_t mask = util::mask_n(width);
     const std::uint64_t a = 0x0F0F0F0Full & mask;
     const std::uint64_t b = 0x33CC33CCull & mask;
     const std::uint64_t c = 0x55AA55AAull & mask;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the host-side thread pool.
+#
+# Configures a dedicated build tree with -DAPIM_SANITIZE=thread, builds the
+# concurrency-relevant tests, and runs them under TSan with a multi-worker
+# pool (APIM_THREADS, default 4) so data races in parallel_for users are
+# actually exercised. Exits nonzero on any race report or test failure.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+export APIM_THREADS="${APIM_THREADS:-4}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAPIM_SANITIZE=thread
+
+TARGETS=(parallel_exec_test batch_test vector_unit_test util_test apps_test)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# halt_on_error makes the first race fail the test binary (and so ctest).
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'ThreadPool|ParallelDeterminism|DegenerateInputs|Batch|VectorAdd|VectorUnit'
+
+echo "TSan check passed (APIM_THREADS=$APIM_THREADS)."

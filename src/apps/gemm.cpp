@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "apps/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace apim::apps {
@@ -52,20 +53,20 @@ std::vector<double> GemmApp::run_golden() const {
 }
 
 std::vector<double> GemmApp::run_apim(core::ApimDevice& device) const {
-  std::vector<double> out;
-  out.reserve(side_ * side_);
-  for (std::size_t i = 0; i < side_; ++i) {
-    for (std::size_t j = 0; j < side_; ++j) {
-      std::int64_t acc = 0;
-      for (std::size_t k = 0; k < side_; ++k) {
-        const std::int64_t prod =
-            device.mul(a_[i * side_ + k], b_[k * side_ + j], kQ16f);
-        acc = device.add(acc, prod);
-      }
-      out.push_back(static_cast<double>(acc) / kScale);
-    }
-  }
-  return out;
+  // Output elements are independent dot products: one per parallel_map
+  // index, each charged to the issuing worker's device clone.
+  return parallel_map(
+      device, side_ * side_, [&](core::ApimDevice& dev, std::size_t idx) {
+        const std::size_t i = idx / side_;
+        const std::size_t j = idx % side_;
+        std::int64_t acc = 0;
+        for (std::size_t k = 0; k < side_; ++k) {
+          const std::int64_t prod =
+              dev.mul(a_[i * side_ + k], b_[k * side_ + j], kQ16f);
+          acc = dev.add(acc, prod);
+        }
+        return static_cast<double>(acc) / kScale;
+      });
 }
 
 }  // namespace apim::apps

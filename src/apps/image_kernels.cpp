@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "apps/parallel.hpp"
+
 namespace apim::apps {
 
 namespace {
@@ -65,38 +67,37 @@ std::vector<double> SobelApp::run_golden() const {
 
 std::vector<double> SobelApp::run_apim(core::ApimDevice& device) const {
   const util::Image& img = input();
-  std::vector<double> out;
-  out.reserve(img.pixel_count());
-  for (std::size_t y = 0; y < img.height(); ++y) {
-    for (std::size_t x = 0; x < img.width(); ++x) {
-      const auto q = [&](int dx, int dy) -> std::int64_t {
-        return static_cast<std::int64_t>(
-                   img.at_clamped(static_cast<std::int64_t>(x) + dx,
-                                  static_cast<std::int64_t>(y) + dy))
-               << kPixelShift;
-      };
-      // Taps as additions (x2 = self-add), then one subtraction per axis.
-      const std::int64_t pos_x =
-          device.add(device.add(q(1, 0), q(1, 0)),
-                     device.add(q(1, -1), q(1, 1)));
-      const std::int64_t neg_x =
-          device.add(device.add(q(-1, 0), q(-1, 0)),
-                     device.add(q(-1, -1), q(-1, 1)));
-      const std::int64_t gx = device.add(pos_x, -neg_x);
-      const std::int64_t pos_y =
-          device.add(device.add(q(0, 1), q(0, 1)),
-                     device.add(q(-1, 1), q(1, 1)));
-      const std::int64_t neg_y =
-          device.add(device.add(q(0, -1), q(0, -1)),
-                     device.add(q(-1, -1), q(1, -1)));
-      const std::int64_t gy = device.add(pos_y, -neg_y);
-      const std::int64_t energy =
-          device.add_wide(device.mul_int(gx, gx), device.mul_int(gy, gy));
-      out.push_back(clamp255(
-          static_cast<double>(energy >> kSobelEnergyShift)));
-    }
-  }
-  return out;
+  // Pixels are independent: one parallel_map index per pixel.
+  return parallel_map(
+      device, img.pixel_count(),
+      [&](core::ApimDevice& dev, std::size_t idx) {
+        const std::size_t x = idx % img.width();
+        const std::size_t y = idx / img.width();
+        const auto q = [&](int dx, int dy) -> std::int64_t {
+          return static_cast<std::int64_t>(
+                     img.at_clamped(static_cast<std::int64_t>(x) + dx,
+                                    static_cast<std::int64_t>(y) + dy))
+                 << kPixelShift;
+        };
+        // Taps as additions (x2 = self-add), then one subtraction per axis.
+        const std::int64_t pos_x =
+            dev.add(dev.add(q(1, 0), q(1, 0)),
+                    dev.add(q(1, -1), q(1, 1)));
+        const std::int64_t neg_x =
+            dev.add(dev.add(q(-1, 0), q(-1, 0)),
+                    dev.add(q(-1, -1), q(-1, 1)));
+        const std::int64_t gx = dev.add(pos_x, -neg_x);
+        const std::int64_t pos_y =
+            dev.add(dev.add(q(0, 1), q(0, 1)),
+                    dev.add(q(-1, 1), q(1, 1)));
+        const std::int64_t neg_y =
+            dev.add(dev.add(q(0, -1), q(0, -1)),
+                    dev.add(q(-1, -1), q(1, -1)));
+        const std::int64_t gy = dev.add(pos_y, -neg_y);
+        const std::int64_t energy =
+            dev.add_wide(dev.mul_int(gx, gx), dev.mul_int(gy, gy));
+        return clamp255(static_cast<double>(energy >> kSobelEnergyShift));
+      });
 }
 
 // ----------------------------------------------------------------- Robert --
@@ -129,28 +130,24 @@ std::vector<double> RobertApp::run_golden() const {
 
 std::vector<double> RobertApp::run_apim(core::ApimDevice& device) const {
   const util::Image& img = input();
-  std::vector<double> out;
-  out.reserve(img.pixel_count());
-  for (std::size_t y = 0; y < img.height(); ++y) {
-    for (std::size_t x = 0; x < img.width(); ++x) {
-      const auto ix = static_cast<std::int64_t>(x);
-      const auto iy = static_cast<std::int64_t>(y);
-      const std::int64_t gx = device.add(
-          static_cast<std::int64_t>(img.at_clamped(ix, iy)) << kPixelShift,
-          -(static_cast<std::int64_t>(img.at_clamped(ix + 1, iy + 1))
-            << kPixelShift));
-      const std::int64_t gy = device.add(
-          static_cast<std::int64_t>(img.at_clamped(ix + 1, iy))
-              << kPixelShift,
-          -(static_cast<std::int64_t>(img.at_clamped(ix, iy + 1))
-            << kPixelShift));
-      const std::int64_t energy =
-          device.add_wide(device.mul_int(gx, gx), device.mul_int(gy, gy));
-      out.push_back(clamp255(
-          static_cast<double>(energy >> kRobertEnergyShift)));
-    }
-  }
-  return out;
+  return parallel_map(
+      device, img.pixel_count(),
+      [&](core::ApimDevice& dev, std::size_t idx) {
+        const auto ix = static_cast<std::int64_t>(idx % img.width());
+        const auto iy = static_cast<std::int64_t>(idx / img.width());
+        const std::int64_t gx = dev.add(
+            static_cast<std::int64_t>(img.at_clamped(ix, iy)) << kPixelShift,
+            -(static_cast<std::int64_t>(img.at_clamped(ix + 1, iy + 1))
+              << kPixelShift));
+        const std::int64_t gy = dev.add(
+            static_cast<std::int64_t>(img.at_clamped(ix + 1, iy))
+                << kPixelShift,
+            -(static_cast<std::int64_t>(img.at_clamped(ix, iy + 1))
+              << kPixelShift));
+        const std::int64_t energy =
+            dev.add_wide(dev.mul_int(gx, gx), dev.mul_int(gy, gy));
+        return clamp255(static_cast<double>(energy >> kRobertEnergyShift));
+      });
 }
 
 // ---------------------------------------------------------------- Sharpen --
@@ -183,32 +180,29 @@ std::vector<double> SharpenApp::run_golden() const {
 
 std::vector<double> SharpenApp::run_apim(core::ApimDevice& device) const {
   const util::Image& img = input();
-  std::vector<double> out;
-  out.reserve(img.pixel_count());
-  for (std::size_t y = 0; y < img.height(); ++y) {
-    for (std::size_t x = 0; x < img.width(); ++x) {
-      const auto ix = static_cast<std::int64_t>(x);
-      const auto iy = static_cast<std::int64_t>(y);
-      const std::int64_t q = static_cast<std::int64_t>(img.at_clamped(ix, iy))
-                             << kPixelShift;
-      const auto qn = [&](int dx, int dy) -> std::int64_t {
-        return static_cast<std::int64_t>(
-                   img.at_clamped(ix + dx, iy + dy))
-               << kPixelShift;
-      };
-      const std::int64_t blur_sum =
-          device.add(device.add(qn(-1, 0), qn(1, 0)),
-                     device.add(qn(0, -1), qn(0, 1)));
-      const std::int64_t diff = device.add(q, -(blur_sum >> 2));
-      // Sign-magnitude multiply then >>8 rescale (truncation toward zero).
-      const std::int64_t product = device.mul_int(kSharpenAlphaQ8, diff);
-      const std::int64_t amp =
-          product < 0 ? -((-product) >> 8) : (product >> 8);
-      const std::int64_t sharp = device.add(q, amp);
-      out.push_back(clamp255(static_cast<double>(sharp >> kPixelShift)));
-    }
-  }
-  return out;
+  return parallel_map(
+      device, img.pixel_count(),
+      [&](core::ApimDevice& dev, std::size_t idx) {
+        const auto ix = static_cast<std::int64_t>(idx % img.width());
+        const auto iy = static_cast<std::int64_t>(idx / img.width());
+        const std::int64_t q =
+            static_cast<std::int64_t>(img.at_clamped(ix, iy)) << kPixelShift;
+        const auto qn = [&](int dx, int dy) -> std::int64_t {
+          return static_cast<std::int64_t>(
+                     img.at_clamped(ix + dx, iy + dy))
+                 << kPixelShift;
+        };
+        const std::int64_t blur_sum =
+            dev.add(dev.add(qn(-1, 0), qn(1, 0)),
+                    dev.add(qn(0, -1), qn(0, 1)));
+        const std::int64_t diff = dev.add(q, -(blur_sum >> 2));
+        // Sign-magnitude multiply then >>8 rescale (truncation toward zero).
+        const std::int64_t product = dev.mul_int(kSharpenAlphaQ8, diff);
+        const std::int64_t amp =
+            product < 0 ? -((-product) >> 8) : (product >> 8);
+        const std::int64_t sharp = dev.add(q, amp);
+        return clamp255(static_cast<double>(sharp >> kPixelShift));
+      });
 }
 
 }  // namespace apim::apps

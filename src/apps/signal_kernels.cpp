@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "apps/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace apim::apps {
@@ -229,15 +230,15 @@ std::vector<double> QuasiRandomApp::run_golden() const {
 }
 
 std::vector<double> QuasiRandomApp::run_apim(core::ApimDevice& device) const {
-  std::vector<double> out;
-  out.reserve(count_);
-  for (std::size_t i = 0; i < count_; ++i) {
-    const std::int64_t product = device.mul_int(points_[i], kMultiplier);
-    out.push_back(static_cast<double>(device.add(product, kOffset) &
-                                      (kScale - 1)) /
-                  kScale);
-  }
-  return out;
+  // Points are independent (unlike the FFT butterflies and DWT levels
+  // above, which carry cross-element dependences and stay serial).
+  return parallel_map(
+      device, count_, [&](core::ApimDevice& dev, std::size_t i) {
+        const std::int64_t product = dev.mul_int(points_[i], kMultiplier);
+        return static_cast<double>(dev.add(product, kOffset) &
+                                   (kScale - 1)) /
+               kScale;
+      });
 }
 
 // --------------------------------------------------------------- registry --

@@ -4,8 +4,16 @@
 #include <cassert>
 
 #include "arith/fast_units.hpp"
+#include "util/thread_pool.hpp"
 
 namespace apim::arith {
+
+namespace {
+/// Operand indices per host-pool chunk. Fixed (never derived from the
+/// thread count) so the serial merge below visits per-op results in the
+/// same order for every thread count — the accounting stays bit-exact.
+constexpr std::size_t kMultiplyGrain = 64;
+}  // namespace
 
 BatchOutcome fast_multiply_batch(
     std::span<const std::pair<std::uint64_t, std::uint64_t>> operands,
@@ -13,12 +21,29 @@ BatchOutcome fast_multiply_batch(
     std::size_t lanes) {
   assert(lanes >= 1);
   BatchOutcome out;
-  out.lanes_used = std::min(lanes, std::max<std::size_t>(operands.size(), 1));
+  // Degenerate batch: no operands means no lanes engaged and a zeroed
+  // outcome (previously this reported lanes_used == 1 and took the max of
+  // a padded lane vector).
+  if (operands.empty()) return out;
+
+  out.lanes_used = std::min(lanes, operands.size());
+
+  // Host-parallel compute: each op's outcome lands in its own slot.
+  std::vector<MultiplyOutcome> per_op(operands.size());
+  util::ThreadPool::global().parallel_for(
+      0, operands.size(), kMultiplyGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          per_op[i] = fast_multiply(operands[i].first, operands[i].second, n,
+                                    cfg, em);
+      });
+
+  // Serial merge in index order — identical accumulation order to the
+  // single-threaded loop, so cycles AND energy are bit-exact.
   out.products.reserve(operands.size());
   std::vector<util::Cycles> lane_cycles(out.lanes_used, 0);
   for (std::size_t i = 0; i < operands.size(); ++i) {
-    const MultiplyOutcome r =
-        fast_multiply(operands[i].first, operands[i].second, n, cfg, em);
+    const MultiplyOutcome& r = per_op[i];
     out.products.push_back(r.product);
     lane_cycles[i % out.lanes_used] += r.cycles;
     out.total_lane_cycles += r.cycles;

@@ -25,7 +25,7 @@ struct BatchOutcome {
   util::Cycles makespan = 0;        ///< Wall latency: the slowest lane.
   util::Cycles total_lane_cycles = 0;  ///< Sum over all ops.
   double energy_ops_pj = 0.0;
-  std::size_t lanes_used = 0;
+  std::size_t lanes_used = 0;  ///< min(lanes, batch size); 0 for an empty batch.
 
   /// Balanced-load idealization of the makespan (what ApimDevice's
   /// elapsed_seconds assumes).
@@ -43,6 +43,9 @@ struct BatchOutcome {
 
 /// Execute `operands` (a, b) pairs of n-bit multiplies across `lanes`
 /// pipelines, round robin in order. Uses the validated fast models per op.
+/// Host execution spreads over the global thread pool (util/thread_pool.hpp);
+/// products, cycles and energy are bit-identical for every thread count.
+/// An empty batch returns a zeroed outcome.
 [[nodiscard]] BatchOutcome fast_multiply_batch(
     std::span<const std::pair<std::uint64_t, std::uint64_t>> operands,
     unsigned n, ApproxConfig cfg, const device::EnergyModel& em,

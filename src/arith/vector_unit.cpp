@@ -8,12 +8,25 @@
 #include "crossbar/crossbar.hpp"
 #include "magic/engine.hpp"
 #include "util/bitops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace apim::arith {
 
 using crossbar::BlockedCrossbar;
 using crossbar::CellAddr;
 using crossbar::CrossbarConfig;
+
+namespace {
+/// Elements per host-pool chunk for the word-level path. Fixed so the
+/// serial energy merge visits elements in the same order for every thread
+/// count (bit-exact accounting).
+constexpr std::size_t kWordAddGrain = 256;
+
+/// Lanes per crossbar clone for the bit-level path. Each group of lanes
+/// runs the full 12n+1 schedule on its own crossbar; groups are a fixed
+/// partition of the lane index space, independent of the thread count.
+constexpr std::size_t kLaneGroup = 64;
+}  // namespace
 
 VectorAddOutcome fast_vector_add(std::span<const std::uint64_t> a,
                                  std::span<const std::uint64_t> b, unsigned n,
@@ -22,24 +35,35 @@ VectorAddOutcome fast_vector_add(std::span<const std::uint64_t> a,
   VectorAddOutcome out;
   if (a.empty()) return out;
   out.cycles = serial_add_cycles(n);  // Shared by every lane.
+
+  std::vector<WordUnitResult> per_lane(a.size());
+  util::ThreadPool::global().parallel_for(
+      0, a.size(), kWordAddGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k)
+          per_lane[k] = word_serial_add(a[k], b[k], n, em);
+      });
+
   out.sums.reserve(a.size());
   for (std::size_t k = 0; k < a.size(); ++k) {
-    const WordUnitResult r = word_serial_add(a[k], b[k], n, em);
-    out.sums.push_back(r.value);
-    out.energy_ops_pj += r.energy_ops_pj;  // Energy scales; cycles do not.
+    out.sums.push_back(per_lane[k].value);
+    out.energy_ops_pj += per_lane[k].energy_ops_pj;  // Energy scales;
+                                                     // cycles do not.
   }
   return out;
 }
 
-VectorAddOutcome inmemory_vector_add(std::span<const std::uint64_t> a,
-                                     std::span<const std::uint64_t> b,
-                                     unsigned n,
-                                     const device::EnergyModel& em) {
-  assert(a.size() == b.size());
-  assert(n >= 1 && n <= 63);
-  VectorAddOutcome out;
-  if (a.empty()) return out;
-  const std::size_t lanes_count = a.size();
+namespace {
+
+/// Executes lanes [lane_begin, lane_end) of the vector add on a private
+/// crossbar clone — the same layout and schedule as the whole-vector run,
+/// restricted to one lane group. Sums land in `sums[k]` (disjoint slots);
+/// the engine's stats are returned for the deterministic merge.
+magic::EngineStats run_lane_group(std::span<const std::uint64_t> a,
+                                  std::span<const std::uint64_t> b, unsigned n,
+                                  const device::EnergyModel& em,
+                                  std::size_t lane_begin, std::size_t lane_end,
+                                  std::vector<std::uint64_t>& sums) {
+  const std::size_t lanes_count = lane_end - lane_begin;
 
   // Layout: 14 rows per lane (a, b, 12 scratch slots) plus one shared
   // never-written '0' reference row at the bottom.
@@ -49,8 +73,10 @@ VectorAddOutcome inmemory_vector_add(std::span<const std::uint64_t> a,
   magic::MagicEngine engine{xbar, em};
   for (std::size_t k = 0; k < lanes_count; ++k) {
     for (unsigned i = 0; i < n; ++i) {
-      xbar.block(0).set(k * kRowsPerLane, i, util::bit(a[k], i) != 0);
-      xbar.block(0).set(k * kRowsPerLane + 1, i, util::bit(b[k], i) != 0);
+      xbar.block(0).set(k * kRowsPerLane, i,
+                        util::bit(a[lane_begin + k], i) != 0);
+      xbar.block(0).set(k * kRowsPerLane + 1, i,
+                        util::bit(b[lane_begin + k], i) != 0);
     }
   }
   const CellAddr zero_ref{0, lanes_count * kRowsPerLane, 0};
@@ -74,7 +100,8 @@ VectorAddOutcome inmemory_vector_add(std::span<const std::uint64_t> a,
   }
 
   // One shared init cycle, then 12 NOR batches per bit position, each
-  // batch spanning EVERY lane: 12n + 1 cycles regardless of lane count.
+  // batch spanning EVERY lane of the group: 12n + 1 cycles regardless of
+  // lane count.
   engine.init_cells(init_cells);
   std::vector<magic::NorOp> batch;
   batch.reserve(lanes_count);
@@ -92,17 +119,46 @@ VectorAddOutcome inmemory_vector_add(std::span<const std::uint64_t> a,
     }
   }
 
-  out.sums.reserve(lanes_count);
   for (std::size_t k = 0; k < lanes_count; ++k) {
     std::uint64_t sum = 0;
     for (unsigned i = 0; i < n; ++i)
       if (xbar.get(lane_bits[k][i].cell(kSlotS))) sum |= std::uint64_t{1} << i;
     if (xbar.get(lane_bits[k][n - 1].cell(kSlotCout)))
       sum |= std::uint64_t{1} << n;
-    out.sums.push_back(sum);
+    sums[lane_begin + k] = sum;
   }
-  out.cycles = engine.stats().cycles;
-  out.energy_ops_pj = engine.stats().energy_ops_pj;
+  return engine.stats();
+}
+
+}  // namespace
+
+VectorAddOutcome inmemory_vector_add(std::span<const std::uint64_t> a,
+                                     std::span<const std::uint64_t> b,
+                                     unsigned n,
+                                     const device::EnergyModel& em) {
+  assert(a.size() == b.size());
+  assert(n >= 1 && n <= 63);
+  VectorAddOutcome out;
+  if (a.empty()) return out;
+
+  // One crossbar clone per lane group, groups partitioned across the host
+  // pool. Every group runs the identical 12n+1-cycle schedule, so the
+  // wall latency is one group's cycle count; energy is merged serially in
+  // group order so the total is independent of the thread count.
+  const std::size_t groups = (a.size() + kLaneGroup - 1) / kLaneGroup;
+  std::vector<magic::EngineStats> group_stats(groups);
+  out.sums.assign(a.size(), 0);
+  util::ThreadPool::global().parallel_for(
+      0, a.size(), kLaneGroup, [&](std::size_t lo, std::size_t hi) {
+        group_stats[lo / kLaneGroup] =
+            run_lane_group(a, b, n, em, lo, hi, out.sums);
+      });
+
+  out.cycles = group_stats.front().cycles;
+  for (const magic::EngineStats& s : group_stats) {
+    assert(s.cycles == out.cycles);  // Same schedule in every group.
+    out.energy_ops_pj += s.energy_ops_pj;
+  }
   return out;
 }
 

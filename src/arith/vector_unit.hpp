@@ -30,8 +30,11 @@ struct VectorAddOutcome {
     std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
     unsigned n, const device::EnergyModel& em);
 
-/// Bit-level twin: executes all K ripple adders concurrently on one
-/// crossbar (lane bit-steps batched across the whole vector per cycle).
+/// Bit-level twin: executes all K ripple adders concurrently (lane
+/// bit-steps batched across each lane group per cycle). Lane groups of a
+/// fixed size each run on a private crossbar clone, spread across the
+/// host thread pool; sums, cycles and energy are bit-identical for every
+/// host thread count.
 [[nodiscard]] VectorAddOutcome inmemory_vector_add(
     std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
     unsigned n, const device::EnergyModel& em);

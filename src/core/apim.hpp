@@ -119,6 +119,11 @@ class ApimDevice {
   [[nodiscard]] const ExecStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
 
+  /// Fold a worker device's accumulated stats into this device. Used by
+  /// apps::parallel_map: each host worker issues ops to a private clone
+  /// and the clones' stats merge here in deterministic chunk order.
+  void merge_stats(const ExecStats& s) noexcept { stats_.merge(s); }
+
   /// Total energy including per-cycle controller overhead, pJ.
   [[nodiscard]] double energy_pj() const noexcept;
   /// Wall time with `parallel_lanes` pipelines running the issued ops.

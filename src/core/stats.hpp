@@ -15,6 +15,17 @@ struct ExecStats {
   std::uint64_t partial_products = 0;  ///< Generated across all multiplies.
 
   void reset() { *this = ExecStats{}; }
+
+  /// Fold another accumulator into this one. Host-parallel executors give
+  /// each worker a private ExecStats and merge them in deterministic chunk
+  /// order (util/thread_pool.hpp), never through shared mutable counters.
+  void merge(const ExecStats& other) {
+    multiplies += other.multiplies;
+    additions += other.additions;
+    cycles += other.cycles;
+    energy_ops_pj += other.energy_ops_pj;
+    partial_products += other.partial_products;
+  }
 };
 
 }  // namespace apim::core

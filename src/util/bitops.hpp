@@ -31,10 +31,20 @@ namespace apim::util {
   return (x & ~(std::uint64_t{1} << i)) | (v << i);
 }
 
-/// Mask with the low `n` bits set. `n` may be 0..64.
-[[nodiscard]] constexpr std::uint64_t low_mask(unsigned n) noexcept {
+/// Mask with the low `n` bits set, for any `n` in 0..64. The naive
+/// `(1ull << n) - 1` is undefined behaviour at n == 64 (shift by the word
+/// width); this is the one place that case is handled — every width- or
+/// word-parameterized mask in the codebase must go through here (or
+/// through `low_mask`, its historical alias) instead of shifting raw
+/// literals.
+[[nodiscard]] constexpr std::uint64_t mask_n(unsigned n) noexcept {
   assert(n <= 64);
   return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Alias of `mask_n` predating it; both names are in wide use.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return mask_n(n);
 }
 
 /// Keep only the low `n` bits of `x`.

@@ -94,6 +94,13 @@ TEST(Batch, EmptyBatch) {
       fast_multiply_batch(none, 16, ApproxConfig::exact(), em(), 4);
   EXPECT_TRUE(batch.products.empty());
   EXPECT_EQ(batch.makespan, 0u);
+  // Regression: the old code padded the batch and reported lanes_used == 1
+  // with nonzero per-lane state for zero work. Everything must be zeroed.
+  EXPECT_EQ(batch.lanes_used, 0u);
+  EXPECT_EQ(batch.total_lane_cycles, 0u);
+  EXPECT_EQ(batch.energy_ops_pj, 0.0);
+  EXPECT_EQ(batch.ideal_makespan(), 0.0);
+  EXPECT_EQ(batch.imbalance(), 1.0);
 }
 
 TEST(Batch, ApproximationAppliesPerLaneOp) {

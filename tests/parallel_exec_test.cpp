@@ -1,0 +1,270 @@
+// Tests for the host-side thread pool (util/thread_pool.hpp) and the
+// bit-exactness contract of every parallelized path: products, cycles and
+// energy must be IDENTICAL (not merely close) for any host thread count,
+// because chunk boundaries and merge order depend only on the problem
+// size, never on the worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "arith/approx.hpp"
+#include "arith/batch.hpp"
+#include "arith/vector_unit.hpp"
+#include "core/apim.hpp"
+#include "device/energy_model.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace apim {
+namespace {
+
+const device::EnergyModel& em() {
+  return device::EnergyModel::paper_defaults();
+}
+
+/// Restores the default thread-pool configuration on scope exit so a
+/// failing test cannot leak its override into later tests.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(0); }
+};
+
+// ----------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(0, kCount, /*grain=*/64, [&](std::size_t lo,
+                                                 std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  util::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 8, [&](std::size_t, std::size_t) { ran = true; });
+  pool.parallel_for(7, 3, 8, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk) {
+  util::ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(2, 9, /*grain=*/100, [&](std::size_t lo, std::size_t hi) {
+    const std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2u);
+  EXPECT_EQ(chunks[0].second, 9u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 10,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo >= 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a thrown body and remains usable.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  // A nested call from inside a worker must not deadlock on the pool.
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    util::ThreadPool::global().parallel_for(
+        0, 10, 2, [&](std::size_t lo, std::size_t hi) {
+          inner_total.fetch_add(hi - lo);
+        });
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsSerially) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;  // No mutex: serial execution expected.
+  pool.parallel_for(0, 100, 7, [&](std::size_t lo, std::size_t) {
+    order.push_back(lo);
+  });
+  ASSERT_FALSE(order.empty());
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LT(order[i - 1], order[i]);
+}
+
+TEST(ThreadPool, SetThreadCountReconfiguresGlobalPool) {
+  const ThreadCountGuard guard;
+  util::set_thread_count(3);
+  EXPECT_EQ(util::configured_thread_count(), 3u);
+  EXPECT_EQ(util::ThreadPool::global().size(), 3u);
+  util::set_thread_count(0);
+  EXPECT_GE(util::configured_thread_count(), 1u);
+}
+
+// -------------------------------------------- bit-exactness properties --
+
+/// The thread counts the determinism properties sweep: serial, even split,
+/// and a count that does not divide typical chunk counts.
+constexpr std::size_t kThreadSweep[] = {1, 2, 7};
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> random_pairs(
+    std::size_t count, unsigned n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.emplace_back(rng.next() & util::low_mask(n),
+                     rng.next() & util::low_mask(n));
+  return out;
+}
+
+TEST(ParallelDeterminism, FastMultiplyBatchBitExact) {
+  const ThreadCountGuard guard;
+  const auto pairs = random_pairs(2000, 32, 901);
+
+  util::set_thread_count(1);
+  const arith::BatchOutcome ref = arith::fast_multiply_batch(
+      pairs, 32, arith::ApproxConfig::exact(), em(), 64);
+
+  for (std::size_t threads : kThreadSweep) {
+    util::set_thread_count(threads);
+    const arith::BatchOutcome got = arith::fast_multiply_batch(
+        pairs, 32, arith::ApproxConfig::exact(), em(), 64);
+    EXPECT_EQ(got.products, ref.products) << "threads=" << threads;
+    EXPECT_EQ(got.makespan, ref.makespan) << "threads=" << threads;
+    EXPECT_EQ(got.total_lane_cycles, ref.total_lane_cycles)
+        << "threads=" << threads;
+    EXPECT_EQ(got.lanes_used, ref.lanes_used) << "threads=" << threads;
+    // Bit-exact FP equality, not NEAR: the merge order is fixed.
+    EXPECT_EQ(got.energy_ops_pj, ref.energy_ops_pj) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, FastVectorAddBitExact) {
+  const ThreadCountGuard guard;
+  util::Xoshiro256 rng(902);
+  constexpr std::size_t kCount = 3000;
+  std::vector<std::uint64_t> a(kCount), b(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    a[i] = rng.next() & util::low_mask(32);
+    b[i] = rng.next() & util::low_mask(32);
+  }
+
+  util::set_thread_count(1);
+  const arith::VectorAddOutcome ref = arith::fast_vector_add(a, b, 32, em());
+
+  for (std::size_t threads : kThreadSweep) {
+    util::set_thread_count(threads);
+    const arith::VectorAddOutcome got =
+        arith::fast_vector_add(a, b, 32, em());
+    EXPECT_EQ(got.sums, ref.sums) << "threads=" << threads;
+    EXPECT_EQ(got.cycles, ref.cycles) << "threads=" << threads;
+    EXPECT_EQ(got.energy_ops_pj, ref.energy_ops_pj) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, InmemoryVectorAddBitExact) {
+  const ThreadCountGuard guard;
+  util::Xoshiro256 rng(903);
+  // > 2 lane groups of 64 so the group partition is actually exercised,
+  // small bit width to keep the bit-level engine affordable.
+  constexpr std::size_t kCount = 150;
+  std::vector<std::uint64_t> a(kCount), b(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    a[i] = rng.next() & util::low_mask(8);
+    b[i] = rng.next() & util::low_mask(8);
+  }
+
+  util::set_thread_count(1);
+  const arith::VectorAddOutcome ref =
+      arith::inmemory_vector_add(a, b, 8, em());
+  EXPECT_EQ(ref.cycles, 12u * 8u + 1u);
+  for (std::size_t k = 0; k < kCount; ++k)
+    EXPECT_EQ(ref.sums[k], a[k] + b[k]);
+
+  for (std::size_t threads : kThreadSweep) {
+    util::set_thread_count(threads);
+    const arith::VectorAddOutcome got =
+        arith::inmemory_vector_add(a, b, 8, em());
+    EXPECT_EQ(got.sums, ref.sums) << "threads=" << threads;
+    EXPECT_EQ(got.cycles, ref.cycles) << "threads=" << threads;
+    EXPECT_EQ(got.energy_ops_pj, ref.energy_ops_pj) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, AppKernelAndDeviceStatsBitExact) {
+  const ThreadCountGuard guard;
+  auto app = apps::make_application("GEMM");
+  ASSERT_NE(app, nullptr);
+  app->generate(/*elements=*/1024, /*seed=*/77);
+
+  util::set_thread_count(1);
+  core::ApimDevice ref_device;
+  const std::vector<double> ref_out = app->run_apim(ref_device);
+
+  for (std::size_t threads : kThreadSweep) {
+    util::set_thread_count(threads);
+    core::ApimDevice device;
+    const std::vector<double> out = app->run_apim(device);
+    EXPECT_EQ(out, ref_out) << "threads=" << threads;
+    EXPECT_EQ(device.stats().multiplies, ref_device.stats().multiplies)
+        << "threads=" << threads;
+    EXPECT_EQ(device.stats().additions, ref_device.stats().additions)
+        << "threads=" << threads;
+    EXPECT_EQ(device.stats().cycles, ref_device.stats().cycles)
+        << "threads=" << threads;
+    EXPECT_EQ(device.stats().energy_ops_pj, ref_device.stats().energy_ops_pj)
+        << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------------- degenerate batches --
+
+TEST(DegenerateInputs, EmptyMultiplyBatchIsZeroed) {
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> none;
+  const arith::BatchOutcome out = arith::fast_multiply_batch(
+      none, 32, arith::ApproxConfig::exact(), em(), 16);
+  EXPECT_TRUE(out.products.empty());
+  EXPECT_EQ(out.makespan, 0u);
+  EXPECT_EQ(out.total_lane_cycles, 0u);
+  EXPECT_EQ(out.energy_ops_pj, 0.0);
+  EXPECT_EQ(out.lanes_used, 0u);
+  EXPECT_EQ(out.ideal_makespan(), 0.0);
+  EXPECT_EQ(out.imbalance(), 1.0);
+}
+
+TEST(DegenerateInputs, EmptyVectorAddsAreZeroed) {
+  const std::vector<std::uint64_t> none;
+  const arith::VectorAddOutcome fast =
+      arith::fast_vector_add(none, none, 32, em());
+  EXPECT_TRUE(fast.sums.empty());
+  EXPECT_EQ(fast.cycles, 0u);
+  EXPECT_EQ(fast.energy_ops_pj, 0.0);
+
+  const arith::VectorAddOutcome engine =
+      arith::inmemory_vector_add(none, none, 32, em());
+  EXPECT_TRUE(engine.sums.empty());
+  EXPECT_EQ(engine.cycles, 0u);
+  EXPECT_EQ(engine.energy_ops_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace apim

@@ -35,6 +35,19 @@ TEST(Bitops, LowMaskEdges) {
   EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
 }
 
+TEST(Bitops, MaskNFullWidthRegression) {
+  // n == 64 is the trap: a raw (1ull << 64) - 1 is undefined behaviour and
+  // on x86 typically yields 0 instead of all-ones. mask_n must be safe for
+  // the whole 0..64 range.
+  EXPECT_EQ(mask_n(64), ~std::uint64_t{0});
+  EXPECT_EQ(mask_n(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(mask_n(0), 0u);
+  for (unsigned n = 1; n < 64; ++n)
+    EXPECT_EQ(mask_n(n), (std::uint64_t{1} << n) - 1) << "n=" << n;
+  // low_mask is an alias of mask_n; they must agree everywhere.
+  for (unsigned n = 0; n <= 64; ++n) EXPECT_EQ(low_mask(n), mask_n(n));
+}
+
 TEST(Bitops, Maj3TruthTable) {
   // MAJ is exactly the carry-out of a full adder: 2-of-3.
   EXPECT_EQ(maj3(0, 0, 0), 0u);
