@@ -7,6 +7,7 @@
 
 #include "arith/inmemory_units.hpp"
 #include "arith/latency_model.hpp"
+#include "reliability/residue.hpp"
 #include "util/bitops.hpp"
 
 namespace apim::core {
@@ -24,21 +25,37 @@ std::uint64_t ApimDevice::clamp_magnitude(std::uint64_t m) const noexcept {
 }
 
 std::uint64_t ApimDevice::mul_magnitude(std::uint64_t a, std::uint64_t b) {
+  // Op index BEFORE the increment: lane assignment and transient-fault
+  // draws key off it, and it restarts per device clone, so host-parallel
+  // chunking reproduces it for every thread count (apps/parallel.hpp).
+  const std::uint64_t op_index = stats_.multiplies + stats_.additions;
   ++stats_.multiplies;
+  std::uint64_t product;
+  util::Cycles op_cycles;
+  double op_energy;
   if (config_.backend == Backend::kBitLevel) {
     const arith::InMemoryResult r = arith::inmemory_multiply(
         a, b, config_.word_bits, config_.approx, config_.energy);
-    stats_.cycles += r.cycles;
-    stats_.energy_ops_pj += r.energy_ops_pj;
-    return r.value;
+    product = r.value;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+  } else {
+    const arith::MultiplyOutcome r =
+        arith::fast_multiply(a, b, config_.word_bits, config_.approx,
+                             config_.energy);
+    product = r.product;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+    stats_.partial_products += r.partial_count;
   }
-  const arith::MultiplyOutcome r =
-      arith::fast_multiply(a, b, config_.word_bits, config_.approx,
-                           config_.energy);
-  stats_.cycles += r.cycles;
-  stats_.energy_ops_pj += r.energy_ops_pj;
-  stats_.partial_products += r.partial_count;
-  return r.product;
+  stats_.cycles += op_cycles;
+  stats_.energy_ops_pj += op_energy;
+  if (!config_.reliability.passive()) {
+    product = protect_result(product, a, b, 2 * config_.word_bits,
+                             /*is_mul=*/true, config_.approx.is_exact(),
+                             op_index, op_cycles, op_energy);
+  }
+  return product;
 }
 
 namespace {
@@ -53,8 +70,12 @@ unsigned adder_relax(const arith::ApproxConfig& approx,
 }  // namespace
 
 std::uint64_t ApimDevice::add_magnitude(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t op_index = stats_.multiplies + stats_.additions;
   ++stats_.additions;
   const unsigned requested = adder_relax(config_.approx, config_.word_bits);
+  std::uint64_t sum;
+  util::Cycles op_cycles;
+  double op_energy;
   if (config_.backend == Backend::kBitLevel) {
     const unsigned relax =
         arith::profitable_add_relax(config_.word_bits, requested);
@@ -63,15 +84,98 @@ std::uint64_t ApimDevice::add_magnitude(std::uint64_t a, std::uint64_t b) {
                                                 config_.energy)
                    : arith::inmemory_relaxed_add(a, b, config_.word_bits,
                                                  relax, config_.energy);
-    stats_.cycles += r.cycles;
-    stats_.energy_ops_pj += r.energy_ops_pj;
-    return r.value;
+    sum = r.value;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+  } else {
+    const arith::AddOutcome r =
+        arith::fast_add(a, b, config_.word_bits, requested, config_.energy);
+    sum = r.sum;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
   }
-  const arith::AddOutcome r =
-      arith::fast_add(a, b, config_.word_bits, requested, config_.energy);
-  stats_.cycles += r.cycles;
-  stats_.energy_ops_pj += r.energy_ops_pj;
-  return r.sum;
+  stats_.cycles += op_cycles;
+  stats_.energy_ops_pj += op_energy;
+  if (!config_.reliability.passive()) {
+    sum = protect_result(sum, a, b, config_.word_bits + 1,
+                         /*is_mul=*/false, requested == 0, op_index,
+                         op_cycles, op_energy);
+  }
+  return sum;
+}
+
+std::uint64_t ApimDevice::protect_result(std::uint64_t raw, std::uint64_t a,
+                                         std::uint64_t b, unsigned out_bits,
+                                         bool is_mul, bool exact,
+                                         std::uint64_t op_index,
+                                         util::Cycles exec_cycles,
+                                         double exec_energy) {
+  const reliability::ReliabilityConfig& rel = config_.reliability;
+  const reliability::LaneFaultTable& faults = rel.faults;
+  const std::size_t lane = faults.lane_of(op_index);
+  std::uint64_t value =
+      faults.apply(lane, /*domain=*/0, is_mul, raw, out_bits, op_index,
+                   /*attempt=*/0);
+
+  using reliability::ReliabilityPolicy;
+  switch (rel.policy) {
+    case ReliabilityPolicy::kOff:
+      return value;
+    case ReliabilityPolicy::kTripleVote: {
+      // Domains 1 and 2 run the same schedule concurrently on their
+      // redundant processing blocks: latency overlaps (plus a vote step
+      // at the sense amps), energy triples.
+      const std::uint64_t v1 =
+          faults.apply(lane, 1, is_mul, raw, out_bits, op_index, 0);
+      const std::uint64_t v2 =
+          faults.apply(lane, 2, is_mul, raw, out_bits, op_index, 0);
+      stats_.energy_ops_pj +=
+          2.0 * exec_energy +
+          static_cast<double>(out_bits) * config_.energy.e_maj_pj;
+      stats_.cycles += 2;
+      ++stats_.votes;
+      if (value != v1 || value != v2) ++stats_.faults_detected;
+      return (value & v1) | (value & v2) | (v1 & v2);
+    }
+    case ReliabilityPolicy::kDetectOnly:
+    case ReliabilityPolicy::kDetectAndRepair:
+      break;
+  }
+
+  // Residue codes arbitrate only EXACT results: an approximate op
+  // legitimately deviates from the checked identity (reliability/
+  // residue.hpp), so those results pass through unchecked.
+  if (!exact) return value;
+  const unsigned total_bits =
+      is_mul ? 4 * config_.word_bits : 3 * config_.word_bits + 1;
+  const auto residue_ok = [&](std::uint64_t v) {
+    const reliability::ResidueCost c =
+        reliability::residue_check_cost(total_bits, config_.energy);
+    stats_.cycles += c.cycles;
+    stats_.energy_ops_pj += c.energy_pj;
+    ++stats_.residue_checks;
+    const bool ok = is_mul ? reliability::residue_match_mul(a, b, v)
+                           : reliability::residue_match_add(a, b, v);
+    if (!ok) ++stats_.faults_detected;
+    return ok;
+  };
+  if (residue_ok(value)) return value;
+  if (rel.policy == ReliabilityPolicy::kDetectOnly) return value;
+
+  // Escalation ladder: re-execute on the redundant domains (whose defects
+  // are independent) until a result passes its residue check. Each rung
+  // pays the full op again.
+  for (unsigned d = 1; d <= rel.max_retries; ++d) {
+    ++stats_.retries;
+    stats_.cycles += exec_cycles;
+    stats_.energy_ops_pj += exec_energy;
+    value = faults.apply(lane, d, is_mul, raw, out_bits, op_index, d);
+    if (residue_ok(value)) return value;
+  }
+  // Every domain failed verification: hand back the last value and flag
+  // the device degraded (ApimDevice::degraded) — the top of the ladder.
+  ++stats_.escalations;
+  return value;
 }
 
 std::int64_t ApimDevice::mul(std::int64_t a, std::int64_t b,

@@ -115,6 +115,22 @@ class ApimDevice {
   /// quantifies what preloading hides.
   void charge_data_load(std::uint64_t words);
 
+  // -- Reliability ----------------------------------------------------------
+
+  /// Charge fabric-maintenance work (BIST march scans, spare remapping)
+  /// that the reliability layer performed on this device's crossbars.
+  void charge_reliability_overhead(util::Cycles cycles, double energy_pj) {
+    stats_.cycles += cycles;
+    stats_.energy_ops_pj += energy_pj;
+  }
+
+  /// True once any op exhausted its retry ladder and returned an
+  /// unverified result (the escalation ladder's last rung): the device
+  /// should be taken out of service.
+  [[nodiscard]] bool degraded() const noexcept {
+    return stats_.escalations > 0;
+  }
+
   // -- Accounting -----------------------------------------------------------
   [[nodiscard]] const ExecStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
@@ -133,6 +149,19 @@ class ApimDevice {
 
  private:
   [[nodiscard]] std::uint64_t clamp_magnitude(std::uint64_t m) const noexcept;
+
+  /// Apply the configured fault state to a raw unit result and run the
+  /// policy's detection/recovery machinery (see reliability/policy.hpp).
+  /// `exec_cycles`/`exec_energy` are the cost of ONE execution of the op,
+  /// used to charge retries and redundant vote copies; `exact` says
+  /// whether the raw value is bit-exact (residue checking needs that).
+  [[nodiscard]] std::uint64_t protect_result(std::uint64_t raw,
+                                             std::uint64_t a, std::uint64_t b,
+                                             unsigned out_bits, bool is_mul,
+                                             bool exact,
+                                             std::uint64_t op_index,
+                                             util::Cycles exec_cycles,
+                                             double exec_energy);
 
   ApimConfig config_;
   ExecStats stats_;

@@ -5,6 +5,7 @@
 
 #include "arith/approx.hpp"
 #include "device/energy_model.hpp"
+#include "reliability/policy.hpp"
 
 namespace apim::core {
 
@@ -43,6 +44,13 @@ struct ApimConfig {
 
   /// Simulation level for the arithmetic (see Backend).
   Backend backend = Backend::kFast;
+
+  /// Fault-tolerance policy and injected fault state
+  /// (reliability/policy.hpp). Part of the CONFIG on purpose: host-parallel
+  /// executors clone devices as "same config, fresh stats", so the cloned
+  /// workers inherit the faults and campaign results stay bit-exact for
+  /// every thread count (tests/parallel_exec_test.cpp).
+  reliability::ReliabilityConfig reliability{};
 };
 
 }  // namespace apim::core

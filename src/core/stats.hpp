@@ -14,6 +14,15 @@ struct ExecStats {
   double energy_ops_pj = 0.0;      ///< Micro-op energy (no cycle overhead).
   std::uint64_t partial_products = 0;  ///< Generated across all multiplies.
 
+  // -- Reliability counters (reliability/policy.hpp) ----------------------
+  std::uint64_t residue_checks = 0;   ///< Mod-3 checks performed.
+  std::uint64_t faults_detected = 0;  ///< Residue mismatches / vote splits.
+  std::uint64_t retries = 0;          ///< Re-executions on another domain.
+  std::uint64_t votes = 0;            ///< Triple-vote combinations.
+  std::uint64_t escalations = 0;      ///< Retry ladders exhausted: the op
+                                      ///< returned unverified and the
+                                      ///< device counts as degraded.
+
   void reset() { *this = ExecStats{}; }
 
   /// Fold another accumulator into this one. Host-parallel executors give
@@ -25,6 +34,11 @@ struct ExecStats {
     cycles += other.cycles;
     energy_ops_pj += other.energy_ops_pj;
     partial_products += other.partial_products;
+    residue_checks += other.residue_checks;
+    faults_detected += other.faults_detected;
+    retries += other.retries;
+    votes += other.votes;
+    escalations += other.escalations;
   }
 };
 

@@ -72,6 +72,11 @@ void CrossbarBlock::inject_stuck_at(std::size_t row, std::size_t col,
 
 void CrossbarBlock::clear_faults() { faults_.clear(); }
 
+int CrossbarBlock::stuck_state(std::size_t row, std::size_t col) const {
+  const auto it = faults_.find(index(row, col));
+  return it == faults_.end() ? -1 : static_cast<int>(it->second);
+}
+
 std::uint64_t CrossbarBlock::read_word(std::size_t row, std::size_t col0,
                                        unsigned width) const {
   assert(width <= 64);

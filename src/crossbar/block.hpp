@@ -63,6 +63,11 @@ class CrossbarBlock {
   [[nodiscard]] std::size_t fault_count() const noexcept {
     return faults_.size();
   }
+  /// Oracle view of a cell's defect state: -1 healthy, else the stuck
+  /// value (0/1). The fault campaign uses this to project physical faults
+  /// into the functional fault model; runtime detection never calls it
+  /// (BIST has to discover faults by testing).
+  [[nodiscard]] int stuck_state(std::size_t row, std::size_t col) const;
 
  private:
   [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const;

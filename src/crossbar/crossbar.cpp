@@ -12,10 +12,42 @@ BlockedCrossbar::BlockedCrossbar(CrossbarConfig config)
   if (config_.blocks == 0 || config_.rows == 0 || config_.cols == 0)
     throw std::invalid_argument("BlockedCrossbar: empty geometry");
   blocks_.reserve(config_.blocks);
+  // Spare rows are physically real cells appended past the addressable
+  // rows; only remap_row can route accesses into them.
   for (std::size_t b = 0; b < config_.blocks; ++b)
-    blocks_.emplace_back(config_.rows, config_.cols);
+    blocks_.emplace_back(config_.rows + config_.spare_rows, config_.cols);
+  row_maps_.resize(config_.blocks);
+  spares_used_.assign(config_.blocks, 0);
   for (std::size_t i = 0; i + 1 < config_.blocks; ++i)
     interconnects_.emplace_back(config_.cols);
+}
+
+bool BlockedCrossbar::remap_row(std::size_t block, std::size_t row) {
+  assert(block < blocks_.size());
+  assert(row < config_.rows);
+  if (spares_used_[block] >= config_.spare_rows) return false;
+  row_maps_[block][row] = config_.rows + spares_used_[block];
+  ++spares_used_[block];
+  return true;
+}
+
+std::size_t BlockedCrossbar::physical_row(std::size_t block,
+                                          std::size_t row) const {
+  assert(block < blocks_.size());
+  const auto& map = row_maps_[block];
+  if (map.empty()) return row;
+  const auto it = map.find(row);
+  return it == map.end() ? row : it->second;
+}
+
+std::size_t BlockedCrossbar::spares_remaining(std::size_t block) const {
+  assert(block < blocks_.size());
+  return config_.spare_rows - spares_used_[block];
+}
+
+std::size_t BlockedCrossbar::remapped_row_count(std::size_t block) const {
+  assert(block < blocks_.size());
+  return row_maps_[block].size();
 }
 
 CrossbarBlock& BlockedCrossbar::block(std::size_t i) {
@@ -49,14 +81,16 @@ bool BlockedCrossbar::get(const CellAddr& addr) const {
   check_addr(addr);
   row_decoder_.activate(addr.row);
   col_decoder_.activate(addr.col);
-  return blocks_[addr.block].get(addr.row, addr.col);
+  return blocks_[addr.block].get(physical_row(addr.block, addr.row),
+                                 addr.col);
 }
 
 bool BlockedCrossbar::set(const CellAddr& addr, bool value) {
   check_addr(addr);
   row_decoder_.activate(addr.row);
   col_decoder_.activate(addr.col);
-  return blocks_[addr.block].set(addr.row, addr.col, value);
+  return blocks_[addr.block].set(physical_row(addr.block, addr.row), addr.col,
+                                 value);
 }
 
 std::size_t BlockedCrossbar::write_word(const CellAddr& start, unsigned width,
@@ -64,7 +98,8 @@ std::size_t BlockedCrossbar::write_word(const CellAddr& start, unsigned width,
   check_addr(start);
   assert(start.col + width <= config_.cols);
   row_decoder_.activate(start.row);
-  return blocks_[start.block].write_word(start.row, start.col, width, value);
+  return blocks_[start.block].write_word(physical_row(start.block, start.row),
+                                         start.col, width, value);
 }
 
 std::uint64_t BlockedCrossbar::read_word(const CellAddr& start,
@@ -72,7 +107,8 @@ std::uint64_t BlockedCrossbar::read_word(const CellAddr& start,
   check_addr(start);
   assert(start.col + width <= config_.cols);
   row_decoder_.activate(start.row);
-  return blocks_[start.block].read_word(start.row, start.col, width);
+  return blocks_[start.block].read_word(physical_row(start.block, start.row),
+                                        start.col, width);
 }
 
 std::int64_t BlockedCrossbar::route_column(std::size_t src_block,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "crossbar/address.hpp"
@@ -23,6 +24,11 @@ struct CrossbarConfig {
   std::size_t blocks = 3;  ///< Data block + two processing blocks.
   std::size_t rows = 64;
   std::size_t cols = 128;
+  /// Physical spare rows reserved per block beyond the `rows` addressable
+  /// ones. A quarantined logical row is rewired onto the next spare by the
+  /// reliability layer (remap_row); with 0 spares the crossbar behaves
+  /// exactly as before.
+  std::size_t spare_rows = 0;
 };
 
 class BlockedCrossbar {
@@ -65,6 +71,26 @@ class BlockedCrossbar {
                                           std::size_t dst_block,
                                           std::size_t col) const;
 
+  // -- Spare-row remapping (fault recovery) ------------------------------
+  // Detection (reliability/bist.hpp) quarantines a faulty row by remapping
+  // its logical address onto a reserved spare row; every decoder-routed
+  // access (get/set/read_word/write_word and the sense-amp paths of the
+  // MAGIC engine) then lands on the spare transparently. Remapping the
+  // same row again burns the next spare (used when the first spare itself
+  // tests faulty).
+
+  /// Rewire logical `row` of `block` onto the next unused spare row.
+  /// Returns false (and changes nothing) when the block is out of spares.
+  bool remap_row(std::size_t block, std::size_t row);
+
+  /// Physical row that backs logical `row` of `block` (identity unless
+  /// remapped).
+  [[nodiscard]] std::size_t physical_row(std::size_t block,
+                                         std::size_t row) const;
+
+  [[nodiscard]] std::size_t spares_remaining(std::size_t block) const;
+  [[nodiscard]] std::size_t remapped_row_count(std::size_t block) const;
+
   /// Aggregate endurance counters over all blocks.
   [[nodiscard]] std::uint64_t total_switches() const noexcept;
   [[nodiscard]] std::uint64_t total_writes() const noexcept;
@@ -78,6 +104,10 @@ class BlockedCrossbar {
 
   CrossbarConfig config_;
   std::vector<CrossbarBlock> blocks_;
+  /// Per-block logical-row -> physical-spare-row table plus the next free
+  /// spare index. Empty maps on the hot path cost one branch.
+  std::vector<std::unordered_map<std::size_t, std::size_t>> row_maps_;
+  std::vector<std::size_t> spares_used_;
   std::vector<Interconnect> interconnects_;
   mutable Decoder row_decoder_;
   mutable Decoder col_decoder_;

@@ -12,13 +12,33 @@ RotatingScratchAllocator::RotatingScratchAllocator(std::size_t first_row,
       bands_(band_rows > 0 ? rows / band_rows : 0) {
   assert(band_rows > 0);
   assert(bands_ >= 1 && "scratch region smaller than one band");
+  quarantined_.assign(bands_, false);
 }
 
 std::size_t RotatingScratchAllocator::next_band() {
+  assert(healthy_band_count() > 0 && "every scratch band quarantined");
+  while (quarantined_[next_]) next_ = (next_ + 1) % bands_;
   const std::size_t base = band_base(next_);
   next_ = (next_ + 1) % bands_;
   ++issued_;
   return base;
+}
+
+void RotatingScratchAllocator::quarantine_band(std::size_t i) {
+  assert(i < bands_);
+  quarantined_[i] = true;
+}
+
+bool RotatingScratchAllocator::band_quarantined(std::size_t i) const {
+  assert(i < bands_);
+  return quarantined_[i];
+}
+
+std::size_t RotatingScratchAllocator::healthy_band_count() const noexcept {
+  std::size_t healthy = 0;
+  for (const bool q : quarantined_)
+    if (!q) ++healthy;
+  return healthy;
 }
 
 std::size_t RotatingScratchAllocator::band_base(std::size_t i) const {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace apim::crossbar {
 
@@ -23,7 +24,8 @@ class RotatingScratchAllocator {
   /// Rows available as scratch bands.
   [[nodiscard]] std::size_t band_count() const noexcept { return bands_; }
 
-  /// Base row of the next band (round robin).
+  /// Base row of the next healthy band (round robin over non-quarantined
+  /// bands). Precondition: at least one band is healthy.
   [[nodiscard]] std::size_t next_band();
 
   /// Base row of band `i` without advancing.
@@ -31,12 +33,25 @@ class RotatingScratchAllocator {
 
   [[nodiscard]] std::size_t rotations() const noexcept { return issued_; }
 
+  // -- Fault quarantine ---------------------------------------------------
+  // The reliability layer's BIST scan (reliability/bist.hpp) marks bands
+  // containing defective cells; subsequent allocation rotates only over
+  // the healthy remainder, so wear leveling keeps working (across fewer
+  // bands) instead of handing compute a broken scratch region.
+
+  /// Exclude band `i` from allocation.
+  void quarantine_band(std::size_t i);
+  [[nodiscard]] bool band_quarantined(std::size_t i) const;
+  /// Bands still eligible for allocation.
+  [[nodiscard]] std::size_t healthy_band_count() const noexcept;
+
  private:
   std::size_t first_row_;
   std::size_t band_rows_;
   std::size_t bands_;
   std::size_t next_ = 0;
   std::size_t issued_ = 0;
+  std::vector<bool> quarantined_;
 };
 
 }  // namespace apim::crossbar

@@ -1,6 +1,7 @@
 #include "device/endurance.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace apim::device {
 
@@ -32,6 +33,13 @@ EnduranceReport analyze_endurance(const crossbar::BlockedCrossbar& crossbar,
         params.endurance_limit / switches_per_workload;
     report.seconds_to_failure =
         report.operations_to_failure / params.workloads_per_second;
+  } else {
+    // No cell switched (or no ops ran): the workload exerts no wear and
+    // the fabric outlives any horizon.
+    report.operations_to_failure =
+        std::numeric_limits<double>::infinity();
+    report.seconds_to_failure = std::numeric_limits<double>::infinity();
+    report.unlimited = true;
   }
   return report;
 }

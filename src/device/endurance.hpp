@@ -22,10 +22,14 @@ struct EnduranceReport {
   /// Wear imbalance: worst cell / mean (1.0 = perfectly leveled).
   double imbalance = 0.0;
   /// Operations until the worst cell exceeds the endurance limit, assuming
-  /// the measured workload repeats (0 when nothing switched).
+  /// the measured workload repeats. When no cell switched (or the workload
+  /// count is 0) the workload exerts no wear, so the estimate is +infinity
+  /// and `unlimited` is set — NOT zero, which would read as instant death.
   double operations_to_failure = 0.0;
   /// Same, expressed in seconds at the given issue rate.
   double seconds_to_failure = 0.0;
+  /// True when the measured workload cannot wear the fabric out.
+  bool unlimited = false;
 };
 
 struct EnduranceParams {

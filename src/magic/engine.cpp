@@ -82,8 +82,11 @@ void MagicEngine::nor_parallel(std::span<const NorOp> ops) {
 }
 
 bool MagicEngine::read_bit(const crossbar::CellAddr& addr) {
-  const bool value =
-      xbar_.sense_amps().read(xbar_.block(addr.block), addr.row, addr.col);
+  // The SA reads the physical row: a logical row quarantined by the
+  // reliability layer transparently resolves to its spare.
+  const bool value = xbar_.sense_amps().read(
+      xbar_.block(addr.block), xbar_.physical_row(addr.block, addr.row),
+      addr.col);
   stats_.energy_ops_pj += energy_.e_read_pj;
   ++stats_.reads;
   trace(OpKind::kRead, 1, /*overlapped=*/true);
@@ -97,8 +100,9 @@ bool MagicEngine::sa_majority(const crossbar::CellAddr& a,
   // cells must share a block and a column (paper Figure 3(b)).
   assert(a.block == b.block && b.block == c.block);
   assert(a.col == b.col && b.col == c.col);
-  const bool result = xbar_.sense_amps().majority(xbar_.block(a.block), a.col,
-                                                  a.row, b.row, c.row);
+  const bool result = xbar_.sense_amps().majority(
+      xbar_.block(a.block), a.col, xbar_.physical_row(a.block, a.row),
+      xbar_.physical_row(b.block, b.row), xbar_.physical_row(c.block, c.row));
   stats_.energy_ops_pj += energy_.e_maj_pj;
   ++stats_.majority_ops;
   ++stats_.cycles;

@@ -1,0 +1,101 @@
+// Monte Carlo fault-injection campaigns (the reliability experiment
+// driver, bench/ext_fault_campaign.cpp).
+//
+// A campaign models each of `lanes` compute lanes as a real
+// BlockedCrossbar — one data block plus `domains` redundant processing
+// blocks and `spare_rows` physical spares — and, per trial:
+//
+//  1. samples stuck-at defects over the processing blocks' scratch region
+//     (spare rows included: replacements can be defective too) at
+//     `stuck_rate` per cell, deterministically from the trial seed;
+//  2. under kDetectAndRepair, runs the BIST march scan and spare-row
+//     repair (reliability/bist.hpp) over every scratch region, charging
+//     its real cycle/energy cost to the device that runs the apps;
+//  3. projects the SURVIVING stuck cells onto functional output bits
+//     (reliability/fault_state.hpp) — even scratch rows belong to the
+//     multiplier's product register, odd rows to the adder output — so a
+//     successful remap silently clears the functional fault, exactly as
+//     it would in hardware;
+//  4. runs the requested applications with the resulting LaneFaultTable
+//     and policy installed, and scores each output against the app's
+//     golden reference with quality::evaluate_qos.
+//
+// The same trial seed produces the same physical fault map for every
+// policy, so resilience curves compare policies on identical silicon.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "quality/qos.hpp"
+#include "reliability/policy.hpp"
+#include "util/units.hpp"
+
+namespace apim::reliability {
+
+struct CampaignConfig {
+  /// Applications to score (apps::make_application names).
+  std::vector<std::string> apps{"Sobel", "Robert", "Sharpen"};
+  std::size_t elements = 4096;       ///< Workload size per app.
+  std::uint64_t workload_seed = 2017;
+  std::uint64_t fault_seed = 0xFA177;
+  std::size_t trials = 3;            ///< Independent fault maps.
+  double stuck_rate = 1e-3;          ///< Per-cell stuck-at probability.
+  double transient_rate = 0.0;       ///< Per-op soft bit-flip probability.
+  ReliabilityPolicy policy = ReliabilityPolicy::kOff;
+  std::size_t lanes = 64;            ///< Modeled fabrics; ops round-robin.
+  std::size_t domains = 3;           ///< Processing blocks per lane (the
+                                     ///< retry ladder and the triple vote
+                                     ///< both need 3).
+  std::size_t scratch_rows = 16;     ///< Scanned scratch rows per block.
+  std::size_t spare_rows = 4;        ///< Physical spares per block.
+  core::ApimConfig device{};         ///< Base device configuration.
+};
+
+/// One (application, trial) execution under a sampled fault map.
+struct CampaignRun {
+  std::string app;
+  std::size_t trial = 0;
+  ReliabilityPolicy policy = ReliabilityPolicy::kOff;
+  quality::QosEvaluation qos;
+
+  // Fabric state of this trial (shared by the trial's apps).
+  std::size_t injected_cells = 0;   ///< Physical stuck cells sampled.
+  std::size_t projected_bits = 0;   ///< Functional stuck bits after repair.
+  std::size_t spares_used = 0;
+  std::size_t unrepaired_rows = 0;
+
+  // Runtime reliability activity (core::ExecStats counters).
+  std::uint64_t residue_checks = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t votes = 0;
+  std::uint64_t escalations = 0;
+
+  util::Cycles cycles = 0;
+  double energy_pj = 0.0;
+  /// Fractional cost vs the same app on a clean, unprotected device
+  /// (0.07 = 7% more cycles / energy).
+  double cycle_overhead = 0.0;
+  double energy_overhead = 0.0;
+
+  bool dropped_to_exact = false;  ///< Escalation: approximation disabled.
+  bool degraded = false;          ///< A retry ladder was exhausted.
+};
+
+struct CampaignResult {
+  std::vector<CampaignRun> runs;
+
+  /// Fraction of runs whose output met the app's QoS criterion.
+  [[nodiscard]] double accept_fraction() const noexcept;
+  [[nodiscard]] bool all_acceptable() const noexcept;
+};
+
+/// Execute the campaign. Deterministic: identical config => identical
+/// result, for every host thread count (tests/parallel_exec_test.cpp).
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace apim::reliability

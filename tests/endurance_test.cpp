@@ -1,6 +1,8 @@
 // Tests of the per-cell wear accounting and the endurance analysis.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arith/inmemory_fa.hpp"
 #include "device/endurance.hpp"
 #include "magic/engine.hpp"
@@ -22,12 +24,17 @@ TEST(Wear, PerCellSwitchCountsTrackFlipsOnly) {
   EXPECT_EQ(block.max_cell_switches(), 2u);
 }
 
-TEST(Endurance, EmptyCrossbarReportsZero) {
+TEST(Endurance, EmptyCrossbarReportsUnlimitedLifetime) {
+  // A workload that never switched a cell exerts no wear: the lifetime is
+  // unbounded (+inf), not zero — zero would read as instant failure.
   BlockedCrossbar xbar(CrossbarConfig{2, 4, 4});
   const EnduranceReport report = analyze_endurance(xbar, 0);
   EXPECT_EQ(report.total_switches, 0u);
   EXPECT_EQ(report.worst_cell_switches, 0u);
-  EXPECT_EQ(report.operations_to_failure, 0.0);
+  EXPECT_TRUE(report.unlimited);
+  EXPECT_TRUE(std::isinf(report.operations_to_failure));
+  EXPECT_GT(report.operations_to_failure, 0.0);
+  EXPECT_TRUE(std::isinf(report.seconds_to_failure));
 }
 
 TEST(Endurance, ScratchCellsWearFasterThanData) {

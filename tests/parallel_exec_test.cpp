@@ -18,6 +18,7 @@
 #include "arith/vector_unit.hpp"
 #include "core/apim.hpp"
 #include "device/energy_model.hpp"
+#include "reliability/campaign.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -233,6 +234,49 @@ TEST(ParallelDeterminism, AppKernelAndDeviceStatsBitExact) {
         << "threads=" << threads;
     EXPECT_EQ(device.stats().energy_ops_pj, ref_device.stats().energy_ops_pj)
         << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, FaultCampaignBitExact) {
+  // Fault campaigns must reproduce bit for bit regardless of host
+  // threads: the fault table rides in the cloned config and transient
+  // flips are a stateless hash of (seed, op, domain, attempt), so chunked
+  // workers corrupt exactly like a serial run (clones drop no faults).
+  const ThreadCountGuard guard;
+  reliability::CampaignConfig cfg;
+  cfg.apps = {"Sobel"};
+  cfg.elements = 1024;
+  cfg.trials = 1;
+  cfg.stuck_rate = 1e-3;
+  cfg.transient_rate = 1e-4;
+  cfg.policy = reliability::ReliabilityPolicy::kDetectAndRepair;
+  cfg.lanes = 16;
+
+  util::set_thread_count(1);
+  const reliability::CampaignResult ref = reliability::run_campaign(cfg);
+
+  for (std::size_t threads : kThreadSweep) {
+    util::set_thread_count(threads);
+    const reliability::CampaignResult got = reliability::run_campaign(cfg);
+    ASSERT_EQ(got.runs.size(), ref.runs.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < ref.runs.size(); ++i) {
+      EXPECT_EQ(got.runs[i].qos.metric, ref.runs[i].qos.metric)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].qos.acceptable, ref.runs[i].qos.acceptable)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].cycles, ref.runs[i].cycles)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].energy_pj, ref.runs[i].energy_pj)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].residue_checks, ref.runs[i].residue_checks)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].faults_detected, ref.runs[i].faults_detected)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].retries, ref.runs[i].retries)
+          << "threads=" << threads;
+      EXPECT_EQ(got.runs[i].escalations, ref.runs[i].escalations)
+          << "threads=" << threads;
+    }
   }
 }
 
