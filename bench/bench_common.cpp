@@ -23,14 +23,29 @@ void ShapeChecker::check_range(const std::string& name, double value,
 
 int ShapeChecker::finish() const {
   std::puts("\nShape checks:");
-  bool all_ok = true;
-  for (const Entry& e : entries_) {
+  for (const Entry& e : entries_)
     std::printf("  [%s] %s\n", e.ok ? "PASS" : "FAIL", e.name.c_str());
-    all_ok &= e.ok;
-  }
+  const bool all_ok = all_passed();
   std::printf("%s\n", all_ok ? "ALL SHAPE CHECKS PASSED"
                              : "SHAPE CHECK FAILURES PRESENT");
   return all_ok ? 0 : 1;
+}
+
+bool ShapeChecker::all_passed() const {
+  for (const Entry& e : entries_)
+    if (!e.ok) return false;
+  return true;
+}
+
+util::JsonValue ShapeChecker::to_json() const {
+  util::JsonValue checks = util::JsonValue::array();
+  for (const Entry& e : entries_) {
+    util::JsonValue check = util::JsonValue::object();
+    check.set("name", e.name);
+    check.set("ok", e.ok);
+    checks.append(std::move(check));
+  }
+  return checks;
 }
 
 std::size_t configure_threads(int argc, char** argv) {
@@ -54,6 +69,31 @@ std::size_t configure_threads(int argc, char** argv) {
     }
   }
   return util::configured_thread_count();
+}
+
+std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) return arg + 7;
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+void write_json_report(const std::string& path,
+                       const util::JsonValue& report) {
+  if (path.empty()) return;
+  if (report.write_file(path))
+    std::printf("Wrote %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "warning: could not write JSON report to %s\n",
+                 path.c_str());
 }
 
 double AppSample::seconds_per_element(std::size_t lanes) const {

@@ -16,6 +16,7 @@
 #include "apps/app.hpp"
 #include "core/apim.hpp"
 #include "quality/qos.hpp"
+#include "util/json.hpp"
 
 namespace apim::bench {
 
@@ -30,6 +31,11 @@ class ShapeChecker {
   /// Prints one line per check and a final verdict; returns the exit code
   /// (0 when everything passed).
   int finish() const;
+
+  [[nodiscard]] bool all_passed() const;
+
+  /// Checks as a JSON array of {name, ok} objects, for `--json` reports.
+  [[nodiscard]] util::JsonValue to_json() const;
 
  private:
   struct Entry {
@@ -67,6 +73,19 @@ struct AppSample {
 /// the effective thread count. Results are bit-identical for every
 /// setting — the knob only changes host wall-clock time.
 std::size_t configure_threads(int argc, char** argv);
+
+/// Machine-readable output knob shared by the bench binaries: parses
+/// `--json <path>` (or `--json=path`) from argv. Returns the path, or an
+/// empty string when the flag is absent. The bench writes a JsonValue
+/// report there in addition to its human tables and CSVs.
+[[nodiscard]] std::string json_output_path(int argc, char** argv);
+
+/// True when the exact `flag` (e.g. "--smoke") appears in argv.
+[[nodiscard]] bool has_flag(int argc, char** argv, const char* flag);
+
+/// Serialize `report` to `path` unless it is empty; prints a confirmation
+/// line and warns (without failing) when the file cannot be written.
+void write_json_report(const std::string& path, const util::JsonValue& report);
 
 /// Number of 32-bit elements in a dataset of `bytes` bytes.
 [[nodiscard]] inline double elements_in(double bytes) { return bytes / 4.0; }

@@ -1,0 +1,222 @@
+// Extension bench: serving-runtime throughput-latency curves.
+//
+// Drives the serving runtime (src/serve/) with a seeded open-loop Poisson
+// arrival process at a sweep of offered loads, once with dynamic batching
+// enabled and once with every request dispatched alone (batch window 0).
+// Reports simulated throughput, latency percentiles, batch sizes and
+// occupancy per point, as a table + CSV (+ optional --json report).
+//
+// Shape checks assert the qualitative story that makes the batcher worth
+// having: at saturation, coalescing same-shaped requests amortizes the
+// per-dispatch controller setup and fills the stream's lanes, lifting
+// request throughput by >= 4x at equal lane count, while at moderate load
+// the p99 latency (including the batching window) stays inside the SLO.
+//
+// Flags: --threads N, --json <path>, --smoke (tiny trace for CI).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/server.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using apim::serve::LoadGenConfig;
+using apim::serve::MetricsSnapshot;
+using apim::serve::Request;
+using apim::serve::Response;
+using apim::serve::Server;
+using apim::serve::ServerConfig;
+
+struct SweepPoint {
+  double rate_per_kcycle = 0.0;
+  bool batched = false;
+  MetricsSnapshot snap;
+};
+
+constexpr double kSloP99Cycles = 40000.0;
+
+ServerConfig make_server_config(bool batched) {
+  ServerConfig cfg;
+  cfg.streams = 4;
+  cfg.lanes_per_stream = 64;
+  cfg.queue_capacity = 4096;
+  cfg.batch_window = batched ? 2000 : 0;
+  cfg.dispatch_cycles = 64;
+  cfg.slo_p99_cycles = kSloP99Cycles;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads = apim::bench::configure_threads(argc, argv);
+  const bool smoke = apim::bench::has_flag(argc, argv, "--smoke");
+  const std::string json_path = apim::bench::json_output_path(argc, argv);
+
+  std::printf("Serving runtime: open-loop throughput-latency sweep\n");
+  std::printf("(host threads: %zu%s)\n\n", threads, smoke ? ", smoke" : "");
+
+  const std::vector<std::string> apps = {"Sobel", "FFT"};
+  const std::size_t tune_elements = smoke ? 256 : 1024;
+  const apim::serve::QosTable table =
+      apim::serve::build_qos_table(apps, tune_elements, 2017);
+  for (const auto& [app, entry] : table.entries())
+    std::printf("QoS table: %-10s relax=%2u bits  expected loss %.3g\n",
+                app.c_str(), entry.relax_bits, entry.expected_loss);
+
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{4.0, 96.0}
+            : std::vector<double>{2.0, 8.0, 32.0, 96.0};
+  const std::size_t requests = smoke ? 300 : 2000;
+
+  std::vector<SweepPoint> points;
+  for (const bool batched : {false, true}) {
+    for (const double rate : rates) {
+      LoadGenConfig gen;
+      gen.requests = requests;
+      gen.rate_per_kcycle = rate;
+      gen.seed = 2017;
+      gen.apps = apps;
+      gen.min_ops = 8;
+      gen.max_ops = 8;
+      gen.width = 32;
+
+      Server server(make_server_config(batched), table);
+      (void)server.run_trace(apim::serve::make_open_loop_trace(gen));
+      points.push_back(SweepPoint{rate, batched, server.snapshot()});
+    }
+  }
+
+  apim::util::TextTable text({"mode", "rate/kcyc", "thruput rps", "p50 cyc",
+                              "p99 cyc", "mean batch", "stream occ",
+                              "done", "rej", "exp"});
+  text.set_title("Open loop, 8-op mul requests, 4 streams x 64 lanes");
+  apim::util::CsvWriter csv("ext_serving.csv");
+  csv.write_row({"mode", "rate_per_kcycle", "throughput_rps",
+                 "p50_latency_cycles", "p95_latency_cycles",
+                 "p99_latency_cycles", "mean_batch_requests",
+                 "lane_occupancy", "stream_occupancy", "completed",
+                 "rejected", "expired", "escalations", "energy_pj"});
+  for (const SweepPoint& p : points) {
+    const MetricsSnapshot& s = p.snap;
+    const char* mode = p.batched ? "batched" : "unbatched";
+    text.add_row({mode, apim::util::format_double(p.rate_per_kcycle, 1),
+                  apim::util::format_sci(s.throughput_rps, 3),
+                  apim::util::format_double(s.p50_latency_cycles, 0),
+                  apim::util::format_double(s.p99_latency_cycles, 0),
+                  apim::util::format_double(s.mean_batch_requests, 2),
+                  apim::util::format_percent(s.stream_occupancy, 1),
+                  std::to_string(s.completed), std::to_string(s.rejected),
+                  std::to_string(s.expired)});
+    csv.write_row({mode, apim::util::format_double(p.rate_per_kcycle, 2),
+                   apim::util::format_sci(s.throughput_rps, 6),
+                   apim::util::format_double(s.p50_latency_cycles, 1),
+                   apim::util::format_double(s.p95_latency_cycles, 1),
+                   apim::util::format_double(s.p99_latency_cycles, 1),
+                   apim::util::format_double(s.mean_batch_requests, 3),
+                   apim::util::format_double(s.lane_occupancy, 4),
+                   apim::util::format_double(s.stream_occupancy, 4),
+                   std::to_string(s.completed), std::to_string(s.rejected),
+                   std::to_string(s.expired), std::to_string(s.escalations),
+                   apim::util::format_sci(s.energy_pj, 4)});
+  }
+  std::printf("\n%s\n", text.render().c_str());
+  if (csv.ok()) std::printf("Wrote ext_serving.csv\n");
+
+  // -- Shape checks ---------------------------------------------------------
+  apim::bench::ShapeChecker checker;
+
+  double best_batched = 0.0, best_unbatched = 0.0;
+  for (const SweepPoint& p : points) {
+    double& best = p.batched ? best_batched : best_unbatched;
+    if (p.snap.throughput_rps > best) best = p.snap.throughput_rps;
+  }
+  const double speedup =
+      best_unbatched > 0.0 ? best_batched / best_unbatched : 0.0;
+  checker.check_range("batched saturation throughput >= 4x unbatched",
+                      speedup, 4.0, 1e9);
+
+  // Moderate load: the lowest swept rate with batching on.
+  const SweepPoint* moderate = nullptr;
+  for (const SweepPoint& p : points)
+    if (p.batched && (!moderate || p.rate_per_kcycle < moderate->rate_per_kcycle))
+      moderate = &p;
+  checker.check("p99 within SLO at moderate load (batched)",
+                moderate != nullptr && moderate->snap.slo_met(kSloP99Cycles));
+  checker.check("batching actually coalesces at saturation",
+                [&] {
+                  for (const SweepPoint& p : points)
+                    if (p.batched && p.rate_per_kcycle >= 90.0 &&
+                        p.snap.mean_batch_requests >= 4.0)
+                      return true;
+                  return false;
+                }());
+  for (const SweepPoint& p : points) {
+    const MetricsSnapshot& s = p.snap;
+    checker.check(
+        std::string("request accounting closes (") +
+            (p.batched ? "batched" : "unbatched") + " @ " +
+            apim::util::format_double(p.rate_per_kcycle, 1) + "/kcyc)",
+        s.completed + s.rejected + s.expired + s.invalid == s.submitted &&
+            s.p50_latency_cycles <= s.p99_latency_cycles);
+  }
+
+  const int exit_code = checker.finish();
+
+  if (!json_path.empty()) {
+    apim::util::JsonValue report = apim::util::JsonValue::object();
+    report.set("bench", "ext_serving");
+    report.set("smoke", smoke);
+    report.set("threads", static_cast<std::uint64_t>(threads));
+    report.set("slo_p99_cycles", kSloP99Cycles);
+    report.set("batched_vs_unbatched_speedup", speedup);
+
+    apim::util::JsonValue qos_table = apim::util::JsonValue::array();
+    for (const auto& [app, entry] : table.entries()) {
+      apim::util::JsonValue row = apim::util::JsonValue::object();
+      row.set("app", app);
+      row.set("relax_bits", static_cast<std::uint64_t>(entry.relax_bits));
+      row.set("expected_loss", entry.expected_loss);
+      qos_table.append(std::move(row));
+    }
+    report.set("qos_table", std::move(qos_table));
+
+    apim::util::JsonValue sweep = apim::util::JsonValue::array();
+    for (const SweepPoint& p : points) {
+      const MetricsSnapshot& s = p.snap;
+      apim::util::JsonValue row = apim::util::JsonValue::object();
+      row.set("mode", p.batched ? "batched" : "unbatched");
+      row.set("rate_per_kcycle", p.rate_per_kcycle);
+      row.set("throughput_rps", s.throughput_rps);
+      row.set("p50_latency_cycles", s.p50_latency_cycles);
+      row.set("p95_latency_cycles", s.p95_latency_cycles);
+      row.set("p99_latency_cycles", s.p99_latency_cycles);
+      row.set("mean_latency_cycles", s.mean_latency_cycles);
+      row.set("mean_batch_requests", s.mean_batch_requests);
+      row.set("max_batch_requests",
+              static_cast<std::uint64_t>(s.max_batch_requests));
+      row.set("lane_occupancy", s.lane_occupancy);
+      row.set("stream_occupancy", s.stream_occupancy);
+      row.set("completed", s.completed);
+      row.set("rejected", s.rejected);
+      row.set("expired", s.expired);
+      row.set("invalid", s.invalid);
+      row.set("escalations", s.escalations);
+      row.set("energy_pj", s.energy_pj);
+      row.set("slo_met", s.slo_met(kSloP99Cycles));
+      sweep.append(std::move(row));
+    }
+    report.set("sweep", std::move(sweep));
+    report.set("shape_checks", checker.to_json());
+    report.set("all_checks_passed", checker.all_passed());
+    apim::bench::write_json_report(json_path, report);
+  }
+
+  return exit_code;
+}

@@ -23,6 +23,7 @@ constexpr double kOneGiB = 1024.0 * 1024 * 1024;
 
 int main(int argc, char** argv) {
   bench::configure_threads(argc, argv);
+  const std::string json_path = bench::json_output_path(argc, argv);
   std::puts("=== Headline claims summary ===\n");
   const baseline::GpuModel gpu;
   const core::ApimConfig apim_cfg;
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"app", "exact energy gain@1GB", "exact speedup@1GB",
                          "tuned m", "approx speedup@1GB",
                          "approx EDP gain@1GB"});
+  util::JsonValue per_app = util::JsonValue::array();
 
   for (const auto& ref : bench::kTable1Paper) {
     auto app = apps::make_application(ref.app);
@@ -75,6 +77,15 @@ int main(int argc, char** argv) {
                    std::to_string(tuned.relax_bits),
                    util::format_factor(gpu_cost.seconds / approx_t, 2),
                    util::format_factor(approx_edp_ratio, 0)});
+
+    util::JsonValue row = util::JsonValue::object();
+    row.set("app", ref.app);
+    row.set("exact_energy_gain", gpu_cost.energy_pj / exact_e);
+    row.set("exact_speedup", gpu_cost.seconds / exact_t);
+    row.set("tuned_relax_bits", static_cast<std::uint64_t>(tuned.relax_bits));
+    row.set("approx_speedup", gpu_cost.seconds / approx_t);
+    row.set("approx_edp_gain", approx_edp_ratio);
+    per_app.append(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
 
@@ -96,5 +107,19 @@ int main(int argc, char** argv) {
                      approx_edp.max(), 160.0, 1400.0);
   checks.check("approximation adds speedup on top of exact mode",
                approx_speedup.max() > exact_speedup.max());
-  return checks.finish();
+  const int exit_code = checks.finish();
+
+  if (!json_path.empty()) {
+    util::JsonValue report = util::JsonValue::object();
+    report.set("bench", "headline_summary");
+    report.set("mean_exact_energy_gain", exact_energy.mean());
+    report.set("mean_exact_speedup", exact_speedup.mean());
+    report.set("max_approx_speedup", approx_speedup.max());
+    report.set("max_approx_edp_gain", approx_edp.max());
+    report.set("per_app", std::move(per_app));
+    report.set("shape_checks", checks.to_json());
+    report.set("all_checks_passed", checks.all_passed());
+    bench::write_json_report(json_path, report);
+  }
+  return exit_code;
 }

@@ -17,12 +17,13 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAPIM_SANITIZE=thread
 
-TARGETS=(parallel_exec_test batch_test vector_unit_test util_test apps_test)
+TARGETS=(parallel_exec_test batch_test vector_unit_test util_test apps_test
+  serve_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # halt_on_error makes the first race fail the test binary (and so ctest).
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelDeterminism|DegenerateInputs|Batch|VectorAdd|VectorUnit'
+  -R 'ThreadPool|ParallelDeterminism|DegenerateInputs|Batch|VectorAdd|VectorUnit|Serve'
 
 echo "TSan check passed (APIM_THREADS=$APIM_THREADS)."

@@ -21,6 +21,14 @@ std::size_t ApimChip::parallel_lanes() const noexcept {
   return geometry_.banks * geometry_.active_tiles_per_bank;
 }
 
+std::size_t ApimChip::command_streams() const noexcept {
+  return geometry_.banks;
+}
+
+std::size_t ApimChip::lanes_per_stream() const noexcept {
+  return geometry_.active_tiles_per_bank;
+}
+
 bool ApimChip::fits(double dataset_bytes) const noexcept {
   return dataset_bytes <= capacity_bytes();
 }

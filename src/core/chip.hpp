@@ -42,6 +42,17 @@ class ApimChip {
   /// Concurrent arithmetic pipelines (one per active tile).
   [[nodiscard]] std::size_t parallel_lanes() const noexcept;
 
+  /// Independent controller command streams: one per bank. Each bank
+  /// controller broadcasts ONE MAGIC schedule to its active tiles at a
+  /// time, which is why the serving runtime coalesces same-shaped
+  /// requests — a coalesced batch shares a single broadcast, while
+  /// differently-shaped requests queue for separate streams (src/serve/).
+  [[nodiscard]] std::size_t command_streams() const noexcept;
+
+  /// Lanes one command stream drives: the active tiles of its bank. The
+  /// upper bound on useful batch width per dispatch.
+  [[nodiscard]] std::size_t lanes_per_stream() const noexcept;
+
   /// Whether a dataset fits in the data blocks.
   [[nodiscard]] bool fits(double dataset_bytes) const noexcept;
 

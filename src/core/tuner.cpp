@@ -8,8 +8,7 @@ TunerResult AccuracyTuner::tune(
     const std::function<double(unsigned)>& evaluate, double threshold) const {
   assert(step_ > 0);
   TunerResult result;
-  unsigned m = max_relax_;
-  for (;;) {
+  for (const unsigned m : relax_candidates()) {
     const double error = evaluate(m);
     const bool acceptable = error <= threshold;
     result.history.push_back(TunerStep{m, error, acceptable});
@@ -19,13 +18,24 @@ TunerResult AccuracyTuner::tune(
       result.met_qos = true;
       return result;
     }
-    if (m == 0) break;  // Even exact mode failed the QoS check.
-    m = (m > step_) ? m - step_ : 0;
   }
+  // Even exact mode failed the QoS check.
   result.relax_bits = 0;
   result.error = result.history.back().error;
   result.met_qos = false;
   return result;
+}
+
+std::vector<unsigned> AccuracyTuner::relax_candidates() const {
+  assert(step_ > 0);
+  std::vector<unsigned> schedule;
+  unsigned m = max_relax_;
+  for (;;) {
+    schedule.push_back(m);
+    if (m == 0) break;
+    m = (m > step_) ? m - step_ : 0;
+  }
+  return schedule;
 }
 
 }  // namespace apim::core

@@ -38,6 +38,11 @@ class AccuracyTuner {
   [[nodiscard]] TunerResult tune(
       const std::function<double(unsigned)>& evaluate, double threshold) const;
 
+  /// The descending relax schedule tune() walks: max_relax, max_relax-step,
+  /// ..., 0. Exposed so offline table builders (serve::build_qos_table) and
+  /// sweeps enumerate exactly the settings the tuner would consider.
+  [[nodiscard]] std::vector<unsigned> relax_candidates() const;
+
  private:
   unsigned max_relax_;
   unsigned step_;

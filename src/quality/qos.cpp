@@ -1,8 +1,21 @@
 #include "quality/qos.hpp"
 
+#include <cmath>
+
 #include "quality/metrics.hpp"
 
 namespace apim::quality {
+
+double QosSpec::loss_threshold() const {
+  switch (kind) {
+    case QosKind::kPsnr:
+      // PSNR = 20 log10(peak / RMSE)  =>  RMSE / peak = 10^(-PSNR / 20).
+      return std::pow(10.0, -threshold / 20.0);
+    case QosKind::kRelativeError:
+      return threshold;
+  }
+  return 0.0;
+}
 
 QosEvaluation evaluate_qos(const QosSpec& spec,
                            std::span<const double> golden,

@@ -28,6 +28,14 @@ struct QosSpec {
   [[nodiscard]] static QosSpec numeric() {
     return QosSpec{QosKind::kRelativeError, 0.10, 1.0, 0.01};
   }
+
+  /// The acceptance threshold expressed in normalized-loss units
+  /// (QosEvaluation::loss): the largest loss that still passes this spec.
+  /// For kRelativeError that is the threshold itself; for kPsnr it is the
+  /// peak-normalized RMSE at exactly `threshold` dB. Lets loss-driven
+  /// search (AccuracyTuner, serve::build_qos_table) compare any spec kind
+  /// on one axis.
+  [[nodiscard]] double loss_threshold() const;
 };
 
 struct QosEvaluation {

@@ -1,0 +1,51 @@
+#include "serve/load_gen.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace apim::serve {
+
+std::vector<Request> make_open_loop_trace(const LoadGenConfig& cfg) {
+  assert(cfg.rate_per_kcycle > 0.0);
+  assert(cfg.min_ops >= 1 && cfg.min_ops <= cfg.max_ops);
+  util::Xoshiro256 rng(cfg.seed);
+  std::vector<Request> trace;
+  trace.reserve(cfg.requests);
+
+  const double mean_gap_cycles = 1000.0 / cfg.rate_per_kcycle;
+  const std::uint64_t operand_mask = util::mask_n(cfg.width);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    // Exponential interarrival: -ln(1 - U) * mean. next_double() < 1, so
+    // the log argument stays positive.
+    clock += -std::log(1.0 - rng.next_double()) * mean_gap_cycles;
+
+    Request r;
+    r.arrival = static_cast<util::Cycles>(clock);
+    r.app = cfg.apps.empty()
+                ? std::string{}
+                : cfg.apps[rng.next_below(cfg.apps.size())];
+    r.op = rng.next_double() < cfg.add_fraction ? OpKind::kVectorAdd
+                                                : OpKind::kMultiply;
+    r.width = cfg.width;
+    r.qos = cfg.qos;
+    r.deadline = cfg.deadline;
+    r.policy = cfg.policy;
+    const std::size_t ops =
+        cfg.min_ops +
+        (cfg.max_ops > cfg.min_ops
+             ? rng.next_below(cfg.max_ops - cfg.min_ops + 1)
+             : 0);
+    r.operands.reserve(ops);
+    for (std::size_t j = 0; j < ops; ++j)
+      r.operands.emplace_back(rng.next() & operand_mask,
+                              rng.next() & operand_mask);
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace apim::serve

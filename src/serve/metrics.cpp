@@ -1,0 +1,116 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace apim::serve {
+
+void Metrics::record_submitted(util::Cycles arrival) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++submitted_;
+  if (!saw_arrival_ || arrival < first_arrival_) {
+    first_arrival_ = arrival;
+    saw_arrival_ = true;
+  }
+}
+
+void Metrics::record_rejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void Metrics::record_expired() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++expired_;
+}
+
+void Metrics::record_invalid() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++invalid_;
+}
+
+void Metrics::record_queue_depth(std::size_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+}
+
+void Metrics::record_dispatch(std::size_t batch_requests,
+                              std::size_t batch_ops, std::size_t lanes_used,
+                              util::Cycles busy_cycles, double energy_pj,
+                              const core::ExecStats& stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_ops_ += batch_ops;
+  max_batch_requests_ = std::max(max_batch_requests_, batch_requests);
+  batch_size_samples_.push_back(static_cast<double>(batch_requests));
+  busy_lane_cycles_ += busy_cycles * lanes_used;
+  busy_stream_cycles_ += busy_cycles;
+  energy_pj_ += energy_pj;
+  device_stats_.merge(stats);
+}
+
+void Metrics::record_completed(const std::string& app, util::Cycles arrival,
+                               util::Cycles completion, bool escalated,
+                               bool qos_missed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  last_completion_ = std::max(last_completion_, completion);
+  latency_samples_.push_back(
+      static_cast<double>(completion >= arrival ? completion - arrival : 0));
+  MetricsSnapshot::AppCounts& counts = per_app_[app];
+  ++counts.completed;
+  if (escalated) ++counts.escalated;
+  if (qos_missed) ++counts.qos_misses;
+}
+
+void Metrics::record_escalation() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++escalations_;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  s.submitted = submitted_;
+  s.completed = latency_samples_.size();
+  s.rejected = rejected_;
+  s.expired = expired_;
+  s.invalid = invalid_;
+  s.escalations = escalations_;
+  s.batches = batches_;
+  s.batched_ops = batched_ops_;
+  s.max_batch_requests = max_batch_requests_;
+  s.max_queue_depth = max_queue_depth_;
+  s.energy_pj = energy_pj_;
+  s.device_stats = device_stats_;
+  s.per_app = per_app_;
+
+  if (!batch_size_samples_.empty()) {
+    double sum = 0.0;
+    for (const double b : batch_size_samples_) sum += b;
+    s.mean_batch_requests = sum / static_cast<double>(batch_size_samples_.size());
+  }
+  if (saw_arrival_ && last_completion_ > first_arrival_)
+    s.span_cycles = last_completion_ - first_arrival_;
+  if (!latency_samples_.empty()) {
+    s.p50_latency_cycles = util::percentile(latency_samples_, 0.50);
+    s.p95_latency_cycles = util::percentile(latency_samples_, 0.95);
+    s.p99_latency_cycles = util::percentile(latency_samples_, 0.99);
+    double sum = 0.0;
+    for (const double l : latency_samples_) sum += l;
+    s.mean_latency_cycles = sum / static_cast<double>(latency_samples_.size());
+  }
+  if (s.span_cycles > 0) {
+    const double span_s = util::cycles_to_seconds(s.span_cycles);
+    s.throughput_rps = static_cast<double>(s.completed) / span_s;
+    s.lane_occupancy = static_cast<double>(busy_lane_cycles_) /
+                       (static_cast<double>(lanes_total_) *
+                        static_cast<double>(s.span_cycles));
+    s.stream_occupancy = static_cast<double>(busy_stream_cycles_) /
+                         (static_cast<double>(streams_) *
+                          static_cast<double>(s.span_cycles));
+  }
+  return s;
+}
+
+}  // namespace apim::serve

@@ -1,0 +1,112 @@
+// Serving metrics: counters, distributions and a consistent snapshot.
+//
+// The scheduler records everything in SIMULATED cycles (the served chip's
+// clock). Metrics is thread-safe so the async server's callers can
+// snapshot while the scheduler thread is serving; a snapshot is taken
+// under the same lock the recorders use, so its counts are mutually
+// consistent (completed + rejected + expired + invalid never exceeds
+// submitted, latency sample count equals completed, and so on).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "util/units.hpp"
+
+namespace apim::serve {
+
+struct MetricsSnapshot {
+  // -- Request accounting --------------------------------------------------
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t escalations = 0;  ///< QoS-miss exact re-executions.
+
+  // -- Dispatch accounting -------------------------------------------------
+  std::uint64_t batches = 0;
+  std::uint64_t batched_ops = 0;
+  double mean_batch_requests = 0.0;
+  std::size_t max_batch_requests = 0;
+  std::size_t max_queue_depth = 0;
+
+  // -- Simulated time ------------------------------------------------------
+  util::Cycles span_cycles = 0;  ///< First arrival to last completion.
+  double p50_latency_cycles = 0.0;
+  double p95_latency_cycles = 0.0;
+  double p99_latency_cycles = 0.0;
+  double mean_latency_cycles = 0.0;
+  /// Completed requests per simulated second.
+  double throughput_rps = 0.0;
+  /// Busy lane-cycles over lanes * span (0..1).
+  double lane_occupancy = 0.0;
+  /// Busy stream-cycles over streams * span (0..1).
+  double stream_occupancy = 0.0;
+
+  double energy_pj = 0.0;
+  core::ExecStats device_stats{};  ///< Aggregate over all dispatches.
+
+  /// Per-tenant completion/escalation counts.
+  struct AppCounts {
+    std::uint64_t completed = 0;
+    std::uint64_t escalated = 0;
+    std::uint64_t qos_misses = 0;  ///< Final results that still missed.
+  };
+  std::map<std::string, AppCounts> per_app;
+
+  /// p99 against the configured SLO; true when no SLO is set.
+  [[nodiscard]] bool slo_met(double slo_p99_cycles) const noexcept {
+    return slo_p99_cycles <= 0.0 || p99_latency_cycles <= slo_p99_cycles;
+  }
+};
+
+class Metrics {
+ public:
+  Metrics(std::size_t lanes_total, std::size_t streams)
+      : lanes_total_(lanes_total), streams_(streams) {}
+
+  void record_submitted(util::Cycles arrival);
+  void record_rejected();
+  void record_expired();
+  void record_invalid();
+  void record_queue_depth(std::size_t depth);
+  void record_dispatch(std::size_t batch_requests, std::size_t batch_ops,
+                       std::size_t lanes_used, util::Cycles busy_cycles,
+                       double energy_pj, const core::ExecStats& stats);
+  void record_completed(const std::string& app, util::Cycles arrival,
+                        util::Cycles completion, bool escalated,
+                        bool qos_missed);
+  void record_escalation();
+
+  /// Consistent point-in-time view; callable while serving.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t lanes_total_;
+  std::size_t streams_;
+
+  std::uint64_t submitted_ = 0, rejected_ = 0, expired_ = 0, invalid_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t batches_ = 0, batched_ops_ = 0;
+  std::size_t max_batch_requests_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  bool saw_arrival_ = false;
+  util::Cycles first_arrival_ = 0;
+  util::Cycles last_completion_ = 0;
+  util::Cycles busy_lane_cycles_ = 0;
+  util::Cycles busy_stream_cycles_ = 0;
+  double energy_pj_ = 0.0;
+  core::ExecStats device_stats_{};
+  std::vector<double> latency_samples_;
+  std::vector<double> batch_size_samples_;
+  std::map<std::string, MetricsSnapshot::AppCounts> per_app_;
+};
+
+}  // namespace apim::serve

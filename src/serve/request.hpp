@@ -1,0 +1,107 @@
+// Request/response types of the serving runtime (src/serve/server.hpp).
+//
+// A request is one tenant's unit of work: a small vector of same-width
+// arithmetic ops tagged with the application it belongs to (the paper's
+// runtime detects the application and applies its tuned relax level,
+// Section 4.3), an acceptance criterion, and an optional latency deadline.
+// All times are SIMULATED MAGIC cycles — the runtime is a discrete-event
+// model of the served chip, so latencies and deadlines live on the
+// device's clock, not the host's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "quality/qos.hpp"
+#include "reliability/policy.hpp"
+#include "util/units.hpp"
+
+namespace apim::serve {
+
+/// Which in-memory schedule a request needs. Multiplies round-robin over
+/// the stream's lanes; vector adds are row-parallel inside a tile (one
+/// lane, shared 12n+1-cycle pass — arith/vector_unit.hpp).
+enum class OpKind : std::uint8_t {
+  kMultiply,
+  kVectorAdd,
+};
+
+enum class RequestStatus : std::uint8_t {
+  kPending,   ///< Not yet finalized (internal state).
+  kOk,        ///< Executed; values valid.
+  kRejected,  ///< Admission control refused it (queue at capacity).
+  kExpired,   ///< Deadline passed before dispatch; never executed.
+  kInvalid,   ///< Malformed (width out of range, no operands).
+};
+
+[[nodiscard]] constexpr const char* to_string(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kMultiply: return "mul";
+    case OpKind::kVectorAdd: return "add";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::kPending: return "pending";
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+struct Request {
+  /// Tenant application name; keys the QoS table lookup that picks the
+  /// relax level ("" or an unknown name falls back to exact).
+  std::string app;
+  OpKind op = OpKind::kMultiply;
+  /// Word width of every operand pair, 4..32 (ApimDevice's range).
+  unsigned width = 32;
+  /// Magnitude operand pairs; values above `width` bits are clamped by the
+  /// device exactly as in direct ApimDevice use.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> operands;
+  /// Acceptance criterion for THIS request's outputs, evaluated against
+  /// the host-exact golden results on completion; a miss escalates the
+  /// app to exact mode when the server is configured to.
+  quality::QosSpec qos = quality::QosSpec::numeric();
+  /// Simulated arrival time (open-loop traces set this; the async server
+  /// stamps it at admission).
+  util::Cycles arrival = 0;
+  /// Relative deadline in cycles from arrival; 0 = none. A request not
+  /// DISPATCHED by arrival + deadline expires without executing.
+  util::Cycles deadline = 0;
+  /// Fault-tolerance level this tenant pays for (reliability/policy.hpp);
+  /// part of the batch shape — requests only coalesce with like policies.
+  reliability::ReliabilityPolicy policy = reliability::ReliabilityPolicy::kOff;
+};
+
+struct Response {
+  std::uint64_t id = 0;  ///< Server-assigned, dense in admission order.
+  RequestStatus status = RequestStatus::kPending;
+  std::vector<std::uint64_t> values;  ///< One per operand pair (kOk only).
+  /// Relax level the ops actually ran at (0 after an escalation).
+  unsigned relax_bits = 0;
+  /// True when a QoS miss forced an exact re-execution; the latency below
+  /// then covers both passes.
+  bool escalated = false;
+  quality::QosEvaluation qos{};  ///< Evaluation vs host-exact golden.
+  util::Cycles arrival = 0;
+  util::Cycles dispatch = 0;    ///< When the batch started executing.
+  util::Cycles completion = 0;  ///< When results were available.
+  /// Requests coalesced into the dispatching batch (1 = unbatched).
+  std::size_t batch_requests = 0;
+  /// This request's share of the batch energy (proportional to op count).
+  double energy_pj = 0.0;
+
+  /// Simulated queue-to-completion latency in cycles.
+  [[nodiscard]] util::Cycles latency_cycles() const noexcept {
+    return completion >= arrival ? completion - arrival : 0;
+  }
+};
+
+}  // namespace apim::serve

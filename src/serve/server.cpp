@@ -1,0 +1,531 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "serve/batcher.hpp"
+#include "serve/executor.hpp"
+#include "util/bitops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace apim::serve {
+
+ServerConfig ServerConfig::from_chip(const core::ApimChip& chip) {
+  ServerConfig cfg;
+  cfg.streams = chip.command_streams();
+  cfg.lanes_per_stream = chip.lanes_per_stream();
+  cfg.device = chip.make_config();
+  return cfg;
+}
+
+namespace {
+
+/// Host-exact golden value of one op, for the completion-time QoS check.
+/// Operands clamp to the word width exactly as ApimDevice does.
+double golden_value(OpKind op, unsigned width, std::uint64_t a,
+                    std::uint64_t b) {
+  const std::uint64_t cap = util::mask_n(width);
+  const double ca = static_cast<double>(std::min(a, cap));
+  const double cb = static_cast<double>(std::min(b, cap));
+  return op == OpKind::kMultiply ? ca * cb : ca + cb;
+}
+
+}  // namespace
+
+/// One request's full scheduler state.
+struct PendingReq {
+  std::uint64_t id = 0;
+  Request req;
+  unsigned relax = 0;     ///< Current batch-shape relax level.
+  bool escalated = false; ///< A QoS miss already forced an exact rerun.
+  bool finalized = false;
+  Response resp;
+  std::optional<std::promise<Response>> promise;  ///< Live mode only.
+  // Closed-loop bookkeeping.
+  std::size_t client = 0;
+  std::size_t client_index = 0;
+};
+
+/// The deterministic virtual-time scheduler shared by every driving mode.
+/// Single-threaded by design: host parallelism lives INSIDE dispatches
+/// (serve/executor.hpp), which keeps the event order — and therefore every
+/// timestamp and metric — independent of the host worker count.
+class Engine {
+ public:
+  Engine(const ServerConfig& cfg, QosTable& table, Metrics& metrics)
+      : cfg_(cfg),
+        table_(table),
+        metrics_(metrics),
+        batcher_(cfg.batch_window, cfg.batch_op_budget()),
+        free_streams_(cfg.streams) {
+    assert(cfg_.streams >= 1 && cfg_.lanes_per_stream >= 1);
+    assert(cfg_.queue_capacity >= 1);
+  }
+
+  std::function<void(PendingReq&)> on_finalize;
+  /// Live mode frees a request's state once its promise is fulfilled.
+  bool release_after_finalize = false;
+  /// Trace/closed-loop modes enforce queue capacity inside the engine;
+  /// live mode enforces it at submit() (outstanding counter) instead.
+  bool enforce_capacity = true;
+
+  [[nodiscard]] util::Cycles now() const noexcept { return now_; }
+
+  [[nodiscard]] PendingReq& at(std::uint64_t id) { return *reqs_[id]; }
+
+  std::uint64_t create(Request req) {
+    auto p = std::make_unique<PendingReq>();
+    p->id = reqs_.size();
+    p->req = std::move(req);
+    reqs_.push_back(std::move(p));
+    return reqs_.back()->id;
+  }
+
+  void push_arrival(std::uint64_t id) {
+    arrivals_.emplace(reqs_[id]->req.arrival, id);
+  }
+
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return batcher_.pending_requests() + dispatch_q_requests_;
+  }
+
+  [[nodiscard]] bool has_events() const {
+    return !arrivals_.empty() || batcher_.pending_requests() > 0 ||
+           !dispatch_q_.empty() || !inflight_.empty();
+  }
+
+  /// Advance to the next event time and process everything due. Returns
+  /// false when no event remains (the system is drained).
+  bool step() {
+    std::optional<util::Cycles> next;
+    const auto consider = [&](util::Cycles c) {
+      if (!next || c < *next) next = c;
+    };
+    if (!arrivals_.empty() && admission_open())
+      consider(arrivals_.top().first);
+    if (const auto close = batcher_.next_close()) consider(*close);
+    for (const InFlight& f : inflight_) consider(f.completion);
+    if (!next) {
+      // Belt and braces: a closed batch with a free stream has no timer.
+      if (!dispatch_q_.empty() && free_streams_ > 0) {
+        try_dispatch();
+        return true;
+      }
+      return false;
+    }
+    if (*next > now_) now_ = *next;
+    complete_due();
+    admit_due();
+    for (ClosedBatch& b : batcher_.close_due(now_))
+      enqueue_closed(std::move(b));
+    try_dispatch();
+    return true;
+  }
+
+  void run_to_completion() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct InFlight {
+    util::Cycles completion = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> members;
+  };
+
+  [[nodiscard]] bool admission_open() const noexcept {
+    return !enforce_capacity ||
+           cfg_.admission == AdmissionPolicy::kReject ||
+           queue_depth() < cfg_.queue_capacity;
+  }
+
+  void finalize(PendingReq& p, RequestStatus status, util::Cycles when) {
+    assert(!p.finalized);
+    p.resp.id = p.id;
+    p.resp.status = status;
+    p.resp.arrival = p.req.arrival;
+    if (p.resp.completion < when) p.resp.completion = when;
+    p.finalized = true;
+    switch (status) {
+      case RequestStatus::kRejected: metrics_.record_rejected(); break;
+      case RequestStatus::kExpired: metrics_.record_expired(); break;
+      case RequestStatus::kInvalid: metrics_.record_invalid(); break;
+      case RequestStatus::kOk:
+        metrics_.record_completed(p.req.app, p.req.arrival, p.resp.completion,
+                                  p.escalated, !p.resp.qos.acceptable);
+        break;
+      case RequestStatus::kPending: break;  // Unreachable.
+    }
+    const std::uint64_t id = p.id;
+    if (on_finalize) on_finalize(p);
+    if (release_after_finalize) reqs_[id].reset();
+  }
+
+  void join_batcher(PendingReq& p) {
+    const BatchKey key = key_for(p.req, p.relax);
+    if (auto closed = batcher_.add(p.id, key, p.req.operands.size(), now_))
+      enqueue_closed(std::move(*closed));
+  }
+
+  void enqueue_closed(ClosedBatch&& b) {
+    dispatch_q_requests_ += b.members.size();
+    dispatch_q_.push_back(std::move(b));
+  }
+
+  void admit_due() {
+    while (!arrivals_.empty() && arrivals_.top().first <= now_) {
+      if (enforce_capacity && cfg_.admission == AdmissionPolicy::kBlock &&
+          queue_depth() >= cfg_.queue_capacity) {
+        break;  // Head-of-line blocks; later arrivals wait behind it.
+      }
+      const std::uint64_t id = arrivals_.top().second;
+      arrivals_.pop();
+      PendingReq& p = at(id);
+      metrics_.record_submitted(p.req.arrival);
+      if (p.req.width < 4 || p.req.width > 32 || p.req.operands.empty()) {
+        finalize(p, RequestStatus::kInvalid, now_);
+        continue;
+      }
+      if (enforce_capacity && queue_depth() >= cfg_.queue_capacity) {
+        finalize(p, RequestStatus::kRejected, now_);
+        continue;
+      }
+      p.relax = table_.relax_for(p.req.app);
+      join_batcher(p);
+      metrics_.record_queue_depth(queue_depth());
+    }
+  }
+
+  void try_dispatch() {
+    while (free_streams_ > 0 && !dispatch_q_.empty()) {
+      ClosedBatch batch = std::move(dispatch_q_.front());
+      dispatch_q_.pop_front();
+      dispatch_q_requests_ -= batch.members.size();
+
+      // Deadline check at dispatch: members whose (absolute) deadline has
+      // passed expire without executing — no lanes, no energy.
+      std::vector<std::uint64_t> live;
+      live.reserve(batch.members.size());
+      for (const std::uint64_t id : batch.members) {
+        PendingReq& p = at(id);
+        const util::Cycles deadline =
+            p.req.deadline != 0 ? p.req.deadline : cfg_.default_deadline;
+        if (deadline != 0 && now_ > p.req.arrival + deadline) {
+          finalize(p, RequestStatus::kExpired, now_);
+        } else {
+          live.push_back(id);
+        }
+      }
+      if (live.empty()) continue;  // Nothing to run; stream stays free.
+
+      std::vector<std::span<const std::pair<std::uint64_t, std::uint64_t>>>
+          spans;
+      spans.reserve(live.size());
+      std::size_t total_ops = 0;
+      for (const std::uint64_t id : live) {
+        spans.emplace_back(at(id).req.operands);
+        total_ops += at(id).req.operands.size();
+      }
+      BatchExecution exec =
+          execute_batch(spans, batch.key, cfg_.lanes_per_stream, cfg_.device);
+      const util::Cycles busy = cfg_.dispatch_cycles + exec.makespan;
+      const util::Cycles completion = now_ + busy;
+      metrics_.record_dispatch(live.size(), total_ops, exec.lanes_used, busy,
+                               exec.energy_pj, exec.stats);
+      const double energy_per_op =
+          total_ops == 0 ? 0.0
+                         : exec.energy_pj / static_cast<double>(total_ops);
+      for (std::size_t m = 0; m < live.size(); ++m) {
+        PendingReq& p = at(live[m]);
+        p.resp.values = std::move(exec.values[m]);
+        p.resp.dispatch = now_;
+        p.resp.completion = completion;
+        p.resp.batch_requests = live.size();
+        // += so an escalated rerun's energy adds to the first pass.
+        p.resp.energy_pj +=
+            energy_per_op * static_cast<double>(p.req.operands.size());
+      }
+      --free_streams_;
+      inflight_.push_back(InFlight{completion, next_dispatch_seq_++,
+                                   std::move(live)});
+    }
+  }
+
+  void complete_due() {
+    for (;;) {
+      std::size_t best = inflight_.size();
+      for (std::size_t i = 0; i < inflight_.size(); ++i) {
+        if (inflight_[i].completion > now_) continue;
+        if (best == inflight_.size() ||
+            inflight_[i].completion < inflight_[best].completion ||
+            (inflight_[i].completion == inflight_[best].completion &&
+             inflight_[i].seq < inflight_[best].seq)) {
+          best = i;
+        }
+      }
+      if (best == inflight_.size()) return;
+      InFlight done = std::move(inflight_[best]);
+      inflight_.erase(inflight_.begin() +
+                      static_cast<std::ptrdiff_t>(best));
+      ++free_streams_;
+
+      for (const std::uint64_t id : done.members) {
+        PendingReq& p = at(id);
+        std::vector<double> golden, test;
+        golden.reserve(p.req.operands.size());
+        test.reserve(p.req.operands.size());
+        for (std::size_t j = 0; j < p.req.operands.size(); ++j) {
+          golden.push_back(golden_value(p.req.op, p.req.width,
+                                        p.req.operands[j].first,
+                                        p.req.operands[j].second));
+          test.push_back(static_cast<double>(p.resp.values[j]));
+        }
+        p.resp.qos = quality::evaluate_qos(p.req.qos, golden, test);
+        if (!p.resp.qos.acceptable && p.relax > 0 && cfg_.escalate_on_miss &&
+            !p.escalated) {
+          // QoS miss under approximation: pin the app to exact and rerun
+          // this request exactly, charging the extra latency to it.
+          p.escalated = true;
+          metrics_.record_escalation();
+          table_.escalate(p.req.app);
+          p.relax = 0;
+          join_batcher(p);
+          metrics_.record_queue_depth(queue_depth());
+        } else {
+          p.resp.relax_bits = p.relax;
+          p.resp.escalated = p.escalated;
+          finalize(p, RequestStatus::kOk, p.resp.completion);
+        }
+      }
+    }
+  }
+
+  const ServerConfig& cfg_;
+  QosTable& table_;
+  Metrics& metrics_;
+  DynamicBatcher batcher_;
+  std::size_t free_streams_;
+  util::Cycles now_ = 0;
+
+  std::vector<std::unique_ptr<PendingReq>> reqs_;
+  /// (arrival, id) min-heap: earliest arrival first, id tie-break.
+  std::priority_queue<std::pair<util::Cycles, std::uint64_t>,
+                      std::vector<std::pair<util::Cycles, std::uint64_t>>,
+                      std::greater<>>
+      arrivals_;
+  std::deque<ClosedBatch> dispatch_q_;
+  std::size_t dispatch_q_requests_ = 0;
+  std::vector<InFlight> inflight_;
+  std::uint64_t next_dispatch_seq_ = 0;
+};
+
+struct Server::Impl {
+  explicit Impl(ServerConfig c, QosTable t)
+      : cfg(std::move(c)),
+        table(std::move(t)),
+        metrics(cfg.total_lanes(), cfg.streams),
+        engine(cfg, table, metrics) {}
+
+  ServerConfig cfg;
+  QosTable table;
+  Metrics metrics;
+  Engine engine;
+
+  // -- Live async state ----------------------------------------------------
+  struct Submission {
+    Request req;
+    std::promise<Response> promise;
+  };
+  std::thread scheduler;
+  bool running = false;
+  bool stop_requested = false;
+  std::mutex mailbox_mutex;
+  std::condition_variable mailbox_cv;
+  std::condition_variable space_cv;
+  std::deque<Submission> mailbox;
+  std::atomic<std::size_t> outstanding{0};
+  std::atomic<util::Cycles> now_approx{0};
+
+  void scheduler_loop();
+};
+
+void Server::Impl::scheduler_loop() {
+  engine.enforce_capacity = false;  // submit() enforces via `outstanding`.
+  engine.release_after_finalize = true;
+  engine.on_finalize = [this](PendingReq& p) {
+    if (p.promise) p.promise->set_value(std::move(p.resp));
+    outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      // Pair the notification with the mutex so a blocked submit() cannot
+      // miss the wakeup between its predicate check and its wait.
+      const std::lock_guard<std::mutex> lock(mailbox_mutex);
+    }
+    space_cv.notify_all();
+  };
+
+  for (;;) {
+    std::deque<Submission> pulled;
+    {
+      std::unique_lock<std::mutex> lock(mailbox_mutex);
+      mailbox_cv.wait(lock, [&] {
+        return stop_requested || !mailbox.empty() || engine.has_events();
+      });
+      pulled.swap(mailbox);
+      if (pulled.empty() && !engine.has_events() && stop_requested) break;
+    }
+    for (Submission& s : pulled) {
+      s.req.arrival = engine.now();
+      const std::uint64_t id = engine.create(std::move(s.req));
+      engine.at(id).promise = std::move(s.promise);
+      engine.push_arrival(id);
+    }
+    engine.step();
+    now_approx.store(engine.now(), std::memory_order_relaxed);
+  }
+
+  engine.on_finalize = nullptr;
+  engine.release_after_finalize = false;
+  engine.enforce_capacity = true;
+}
+
+Server::Server(ServerConfig config, QosTable table)
+    : impl_(std::make_unique<Impl>(std::move(config), std::move(table))) {}
+
+Server::~Server() { stop(); }
+
+std::vector<Response> Server::run_trace(std::vector<Request> trace) {
+  assert(!impl_->running);
+  Engine& engine = impl_->engine;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(trace.size());
+  for (Request& r : trace) ids.push_back(engine.create(std::move(r)));
+  for (const std::uint64_t id : ids) engine.push_arrival(id);
+  engine.run_to_completion();
+  std::vector<Response> responses;
+  responses.reserve(ids.size());
+  for (const std::uint64_t id : ids) responses.push_back(engine.at(id).resp);
+  return responses;
+}
+
+std::vector<Response> Server::run_closed_loop(
+    std::size_t clients, std::size_t requests_per_client,
+    util::Cycles think_cycles,
+    const std::function<Request(std::size_t, std::size_t)>& make_request) {
+  assert(!impl_->running);
+  Engine& engine = impl_->engine;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(clients * requests_per_client);
+
+  const auto submit_for = [&](std::size_t client, std::size_t index,
+                              util::Cycles arrival) {
+    Request next = make_request(client, index);
+    next.arrival = arrival;
+    const std::uint64_t id = engine.create(std::move(next));
+    engine.at(id).client = client;
+    engine.at(id).client_index = index;
+    engine.push_arrival(id);
+    ids.push_back(id);
+  };
+
+  engine.on_finalize = [&](PendingReq& p) {
+    if (p.client_index + 1 < requests_per_client)
+      submit_for(p.client, p.client_index + 1,
+                 p.resp.completion + think_cycles);
+  };
+  for (std::size_t c = 0; c < clients; ++c)
+    submit_for(c, 0, engine.now());
+  engine.run_to_completion();
+  engine.on_finalize = nullptr;
+
+  std::sort(ids.begin(), ids.end());
+  std::vector<Response> responses;
+  responses.reserve(ids.size());
+  for (const std::uint64_t id : ids) responses.push_back(engine.at(id).resp);
+  return responses;
+}
+
+void Server::start() {
+  Impl& impl = *impl_;
+  if (impl.running) return;
+  impl.stop_requested = false;
+  impl.running = true;
+  impl.scheduler = std::thread([&impl] { impl.scheduler_loop(); });
+}
+
+std::future<Response> Server::submit(Request request) {
+  start();
+  Impl& impl = *impl_;
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  const auto reject_now = [&]() {
+    Response r;
+    r.status = RequestStatus::kRejected;
+    r.arrival = impl.now_approx.load(std::memory_order_relaxed);
+    r.completion = r.arrival;
+    impl.metrics.record_submitted(r.arrival);
+    impl.metrics.record_rejected();
+    promise.set_value(std::move(r));
+    return std::move(future);
+  };
+
+  // A pool worker blocking here could deadlock the pool the dispatches
+  // themselves need, so refuse outright (util/thread_pool.hpp).
+  if (util::in_pool_worker()) return reject_now();
+
+  if (impl.cfg.admission == AdmissionPolicy::kReject &&
+      impl.outstanding.load(std::memory_order_acquire) >=
+          impl.cfg.queue_capacity) {
+    return reject_now();
+  }
+  if (impl.cfg.admission == AdmissionPolicy::kBlock) {
+    std::unique_lock<std::mutex> lock(impl.mailbox_mutex);
+    impl.space_cv.wait(lock, [&] {
+      return impl.stop_requested ||
+             impl.outstanding.load(std::memory_order_acquire) <
+                 impl.cfg.queue_capacity;
+    });
+    if (impl.stop_requested) return reject_now();
+  }
+
+  impl.outstanding.fetch_add(1, std::memory_order_acq_rel);
+  {
+    const std::lock_guard<std::mutex> lock(impl.mailbox_mutex);
+    impl.mailbox.push_back(
+        Impl::Submission{std::move(request), std::move(promise)});
+  }
+  impl.mailbox_cv.notify_one();
+  return future;
+}
+
+void Server::stop() {
+  Impl& impl = *impl_;
+  if (!impl.running) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl.mailbox_mutex);
+    impl.stop_requested = true;
+  }
+  impl.mailbox_cv.notify_all();
+  impl.space_cv.notify_all();
+  impl.scheduler.join();
+  impl.running = false;
+  impl.stop_requested = false;
+}
+
+MetricsSnapshot Server::snapshot() const { return impl_->metrics.snapshot(); }
+
+const ServerConfig& Server::config() const noexcept { return impl_->cfg; }
+
+const QosTable& Server::qos_table() const noexcept { return impl_->table; }
+
+}  // namespace apim::serve

@@ -1,0 +1,153 @@
+// Serving runtime: an asynchronous multi-tenant request scheduler over the
+// APIM chip model.
+//
+// The Server owns a bounded admission queue, a dynamic batcher
+// (serve/batcher.hpp) and a pool of execution resources derived from the
+// chip: `streams` controller command streams (one broadcast schedule at a
+// time each, core/chip.hpp) with `lanes_per_stream` lanes behind each.
+// Scheduling runs in VIRTUAL time (simulated MAGIC cycles) as a
+// discrete-event model; host threads (util::ThreadPool) only accelerate
+// the arithmetic inside each dispatch, so served values, timestamps and
+// metrics are bit-identical for every host worker count — the same
+// determinism discipline as apps::parallel_map.
+//
+// Request lifecycle:
+//   submit/arrival -> admission (reject or block at capacity)
+//     -> relax level from the QoS table (exact fallback)
+//     -> dynamic batcher (same-shape coalescing within a window)
+//     -> dispatch on a free stream (deadline-expired members dropped)
+//     -> completion; QoS check vs host-exact golden
+//     -> on miss: escalate app to exact, re-execute once
+//
+// Three driving modes share the engine:
+//  * run_trace        — deterministic open-loop replay of a seeded trace;
+//  * run_closed_loop  — N virtual clients, next request on completion;
+//  * start/submit/stop — live async serving with std::future responses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/config.hpp"
+#include "serve/metrics.hpp"
+#include "serve/qos_table.hpp"
+#include "serve/request.hpp"
+
+namespace apim::serve {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kReject,  ///< Queue at capacity: fail fast with kRejected.
+  kBlock,   ///< Queue at capacity: delay admission until space frees.
+};
+
+struct ServerConfig {
+  /// Controller command streams (concurrent dispatches) and lanes each
+  /// stream broadcasts to. Defaults are a small slice of a chip, sized so
+  /// tests and benches run in milliseconds; from_chip() scales them up.
+  std::size_t streams = 4;
+  std::size_t lanes_per_stream = 64;
+
+  /// Admission control: requests waiting (batching or awaiting a stream).
+  std::size_t queue_capacity = 1024;
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+
+  /// Batching window in simulated cycles: how long an open batch waits to
+  /// coalesce same-shaped company. 0 disables coalescing entirely (every
+  /// request dispatches alone — the comparison baseline).
+  util::Cycles batch_window = 2000;
+  /// Op budget per dispatch; 0 means lanes_per_stream.
+  std::size_t max_batch_ops = 0;
+
+  /// Controller setup charged per dispatch (broadcast configuration,
+  /// operand staging). This is what batching amortizes.
+  util::Cycles dispatch_cycles = 64;
+
+  /// Deadline applied to requests that carry none; 0 = unbounded.
+  util::Cycles default_deadline = 0;
+
+  /// Latency SLO for reporting: target p99 in simulated cycles (0 = none).
+  /// The scheduler does not gate on it; MetricsSnapshot::slo_met checks it.
+  double slo_p99_cycles = 0.0;
+
+  /// Re-execute a request exactly (and pin its app to exact) when its
+  /// completed result misses its QoS spec.
+  bool escalate_on_miss = true;
+
+  /// Base device configuration: energy model, backend, fault state and
+  /// retry budget. Width/relax/policy are overridden per batch shape.
+  core::ApimConfig device{};
+
+  [[nodiscard]] std::size_t total_lanes() const noexcept {
+    return streams * lanes_per_stream;
+  }
+  [[nodiscard]] std::size_t batch_op_budget() const noexcept {
+    return max_batch_ops == 0 ? lanes_per_stream : max_batch_ops;
+  }
+
+  /// Serving resources of a full chip: one stream per bank, the bank's
+  /// active tiles as its lanes.
+  [[nodiscard]] static ServerConfig from_chip(const core::ApimChip& chip);
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config, QosTable table = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // -- Deterministic replay ------------------------------------------------
+
+  /// Execute an open-loop trace (requests with arrival cycles set) to
+  /// completion. Returns one response per request, in trace order.
+  /// Bit-identical for every host thread count. Not concurrently callable
+  /// with the async interface.
+  std::vector<Response> run_trace(std::vector<Request> trace);
+
+  /// Closed-loop drive: `clients` virtual clients each submit
+  /// `requests_per_client` requests, the next one `think_cycles` after the
+  /// previous completes. `make_request(client, index)` supplies each
+  /// request (arrival is overwritten by the engine). Deterministic.
+  std::vector<Response> run_closed_loop(
+      std::size_t clients, std::size_t requests_per_client,
+      util::Cycles think_cycles,
+      const std::function<Request(std::size_t, std::size_t)>& make_request);
+
+  // -- Live async serving --------------------------------------------------
+
+  /// Start the scheduler thread. Idempotent.
+  void start();
+
+  /// Submit a request for async execution; the future resolves when the
+  /// request finalizes (any status). Under kBlock this call blocks while
+  /// the server is at capacity — never call it from a ThreadPool worker
+  /// (util::in_pool_worker guards; such calls are rejected immediately).
+  /// Virtual arrival time is stamped at admission.
+  std::future<Response> submit(Request request);
+
+  /// Drain everything in flight and join the scheduler thread. Idempotent.
+  void stop();
+
+  // -- Introspection -------------------------------------------------------
+
+  /// Consistent metrics snapshot; safe to call while serving.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept;
+
+  /// The QoS table, including runtime escalations. Do not call while the
+  /// async scheduler is running.
+  [[nodiscard]] const QosTable& qos_table() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace apim::serve

@@ -1,0 +1,145 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace apim::util {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, v] : children_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::append(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  children_.emplace_back(std::string{}, std::move(value));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_number(double d) {
+  // JSON has no inf/nan; report them as null so consumers do not choke.
+  if (!std::isfinite(d)) return "null";
+  char buf[32];
+  // %.17g round-trips every double; trim to the shortest representation
+  // that still round-trips for readable reports.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == d) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int depth) const {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string child_pad(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += format_number(number_); break;
+    case Kind::kInteger: out += std::to_string(integer_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray:
+      if (children_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        out += child_pad;
+        children_[i].second.dump_to(out, depth + 1);
+        if (i + 1 < children_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += ']';
+      break;
+    case Kind::kObject:
+      if (children_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        out += child_pad;
+        out += '"';
+        out += json_escape(children_[i].first);
+        out += "\": ";
+        children_[i].second.dump_to(out, depth + 1);
+        if (i + 1 < children_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      break;
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+bool JsonValue::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << dump();
+  return static_cast<bool>(out);
+}
+
+}  // namespace apim::util

@@ -1,0 +1,72 @@
+// Minimal ordered JSON document builder for machine-readable bench output.
+//
+// The bench binaries print human tables and CSVs; CI additionally wants a
+// structured artifact it can archive and diff across commits (`--json`).
+// This is a writer, not a parser: a JsonValue is a tagged tree (null, bool,
+// number, string, array, object) whose object keys keep insertion order so
+// emitted reports are stable byte-for-byte across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apim::util {
+
+class JsonValue {
+ public:
+  /// Default-constructed value is JSON null.
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}      // NOLINT
+  JsonValue(int i)                                               // NOLINT
+      : kind_(Kind::kInteger), integer_(i) {}
+  JsonValue(std::int64_t i) : kind_(Kind::kInteger), integer_(i) {}  // NOLINT
+  JsonValue(std::uint64_t u)                                     // NOLINT
+      : kind_(Kind::kInteger), integer_(static_cast<std::int64_t>(u)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s)                                        // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+
+  [[nodiscard]] static JsonValue object();
+  [[nodiscard]] static JsonValue array();
+
+  /// Object field setter; overwrites an existing key in place (order kept).
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Array element append.
+  JsonValue& append(JsonValue value);
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] std::size_t size() const noexcept { return children_.size(); }
+
+  /// Serialize with two-space indentation and a trailing newline at the
+  /// top level; numbers use shortest-round-trip formatting.
+  [[nodiscard]] std::string dump() const;
+
+  /// Serialize to `path`; returns false when the file cannot be written
+  /// (read-only filesystem), matching CsvWriter's no-throw convention.
+  bool write_file(const std::string& path) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+
+  void dump_to(std::string& out, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  /// Array elements (empty key) or object fields, in insertion order.
+  std::vector<std::pair<std::string, JsonValue>> children_;
+};
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace apim::util

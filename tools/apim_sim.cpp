@@ -52,7 +52,15 @@ void usage(const char* argv0) {
 bool parse_u64(const char* s, std::uint64_t& out) {
   char* end = nullptr;
   out = std::strtoull(s, &end, 10);
-  return end != nullptr && *end == '\0';
+  return end != nullptr && end != s && *end == '\0';
+}
+
+/// Consistent bad-invocation diagnostic; every such path exits 2.
+int fail_usage(const char* fmt, const char* detail) {
+  std::fprintf(stderr, "apim_sim: error: ");
+  std::fprintf(stderr, fmt, detail);
+  std::fprintf(stderr, " (see --help)\n");
+  return 2;
 }
 
 int run(const Options& opt) {
@@ -67,11 +75,8 @@ int run(const Options& opt) {
   }
 
   auto app = apps::make_application(opt.app);
-  if (app == nullptr) {
-    std::fprintf(stderr, "unknown application '%s' (try --list)\n",
-                 opt.app.c_str());
-    return 2;
-  }
+  if (app == nullptr)
+    return fail_usage("unknown application '%s', try --list", opt.app.c_str());
   app->generate(opt.elements, opt.seed);
 
   core::ApimConfig cfg;
@@ -126,8 +131,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        std::exit(2);
+        std::exit(fail_usage("option %s requires a value", flag));
       }
       return argv[++i];
     };
@@ -142,34 +146,42 @@ int main(int argc, char** argv) {
     } else if (arg == "--app") {
       opt.app = need_value("--app");
     } else if (arg == "--elements") {
-      if (!parse_u64(need_value("--elements"), value)) return 2;
+      const char* v = need_value("--elements");
+      if (!parse_u64(v, value))
+        return fail_usage("--elements expects a count, got '%s'", v);
       opt.elements = value;
     } else if (arg == "--seed") {
-      if (!parse_u64(need_value("--seed"), value)) return 2;
+      const char* v = need_value("--seed");
+      if (!parse_u64(v, value))
+        return fail_usage("--seed expects an integer, got '%s'", v);
       opt.seed = value;
     } else if (arg == "--relax") {
-      if (!parse_u64(need_value("--relax"), value) || value > 64) return 2;
+      const char* v = need_value("--relax");
+      if (!parse_u64(v, value) || value > 64)
+        return fail_usage("--relax expects 0..64, got '%s'", v);
       opt.relax = static_cast<unsigned>(value);
     } else if (arg == "--mask") {
-      if (!parse_u64(need_value("--mask"), value) || value > 32) return 2;
+      const char* v = need_value("--mask");
+      if (!parse_u64(v, value) || value > 32)
+        return fail_usage("--mask expects 0..32, got '%s'", v);
       opt.mask = static_cast<unsigned>(value);
     } else if (arg == "--lanes") {
-      if (!parse_u64(need_value("--lanes"), value) || value == 0) return 2;
+      const char* v = need_value("--lanes");
+      if (!parse_u64(v, value) || value == 0)
+        return fail_usage("--lanes expects a positive count, got '%s'", v);
       opt.lanes = value;
     } else if (arg == "--backend") {
-      const std::string backend = need_value("--backend");
+      const char* v = need_value("--backend");
+      const std::string backend = v;
       if (backend == "fast") {
         opt.backend = core::Backend::kFast;
       } else if (backend == "bit") {
         opt.backend = core::Backend::kBitLevel;
       } else {
-        std::fprintf(stderr, "--backend must be 'fast' or 'bit'\n");
-        return 2;
+        return fail_usage("--backend must be 'fast' or 'bit', got '%s'", v);
       }
     } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
+      return fail_usage("unknown option '%s'", arg.c_str());
     }
   }
   return run(opt);
