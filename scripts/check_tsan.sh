@@ -17,8 +17,11 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAPIM_SANITIZE=thread
 
+# serve_fairness_test's Serve* suites (DRR unit tests, randomized
+# conservation, thread-count invariance) run here; its heavy
+# FairShareContention suite stays outside the regex below on purpose.
 TARGETS=(parallel_exec_test batch_test vector_unit_test util_test apps_test
-  serve_test)
+  serve_test serve_fairness_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # halt_on_error makes the first race fail the test binary (and so ctest).

@@ -3,17 +3,21 @@
 // A bank controller broadcasts ONE schedule to its active tiles
 // (core/chip.hpp::command_streams), so requests can share a dispatch only
 // when they run the SAME schedule: same op kind, same word width, same
-// relax level, same reliability policy. That quadruple is the batch shape.
-// An open batch closes — becomes dispatchable — when its batching window
-// (simulated cycles since it opened) elapses or its op count reaches the
-// per-dispatch lane budget. Everything here is deterministic: batches are
-// keyed and iterated in a total order, never by pointer or hash order.
+// relax level, same reliability policy. Together with the tenant app —
+// batches stay single-tenant so the fair-share scheduler
+// (serve/scheduler.hpp) can attribute and rate every dispatch — that is
+// the batch shape. An open batch closes — becomes dispatchable — when its
+// batching window (simulated cycles since it opened) elapses or its op
+// count reaches the per-dispatch lane budget. Everything here is
+// deterministic: batches are keyed and iterated in a total order, never
+// by pointer or hash order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -21,25 +25,28 @@
 
 namespace apim::serve {
 
-/// The shape quadruple; requests coalesce iff their keys compare equal.
+/// The shape tuple; requests coalesce iff their keys compare equal.
 struct BatchKey {
   OpKind op = OpKind::kMultiply;
   unsigned width = 32;
   unsigned relax_bits = 0;
   reliability::ReliabilityPolicy policy = reliability::ReliabilityPolicy::kOff;
+  /// Owning tenant: batches are single-tenant so dispatch scheduling can
+  /// charge each one to exactly one app's deficit account.
+  std::string app;
 
   [[nodiscard]] friend bool operator==(const BatchKey&,
                                        const BatchKey&) = default;
   [[nodiscard]] friend bool operator<(const BatchKey& a, const BatchKey& b) {
-    return std::tuple(a.op, a.width, a.relax_bits, a.policy) <
-           std::tuple(b.op, b.width, b.relax_bits, b.policy);
+    return std::tie(a.op, a.width, a.relax_bits, a.policy, a.app) <
+           std::tie(b.op, b.width, b.relax_bits, b.policy, b.app);
   }
 };
 
 /// Key for a request once its relax level has been chosen.
 [[nodiscard]] inline BatchKey key_for(const Request& r,
-                                      unsigned relax_bits) noexcept {
-  return BatchKey{r.op, r.width, relax_bits, r.policy};
+                                      unsigned relax_bits) {
+  return BatchKey{r.op, r.width, relax_bits, r.policy, r.app};
 }
 
 /// A closed batch, ready for dispatch: member request ids in admission

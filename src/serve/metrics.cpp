@@ -68,6 +68,21 @@ void Metrics::record_escalation() {
   ++escalations_;
 }
 
+void Metrics::record_tenant_dispatch(const std::string& app,
+                                     std::uint32_t weight, std::size_t ops,
+                                     util::Cycles queued_for,
+                                     std::uint64_t deficit_carried) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot::AppCounts& counts = per_app_[app];
+  counts.weight = weight;
+  ++counts.dispatches;
+  counts.ops_served += ops;
+  counts.max_deficit_carried =
+      std::max(counts.max_deficit_carried, deficit_carried);
+  counts.max_starvation_cycles =
+      std::max(counts.max_starvation_cycles, queued_for);
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot s;
@@ -84,6 +99,20 @@ MetricsSnapshot Metrics::snapshot() const {
   s.energy_pj = energy_pj_;
   s.device_stats = device_stats_;
   s.per_app = per_app_;
+
+  double x_sum = 0.0, x_sq_sum = 0.0;
+  std::size_t fair_apps = 0;
+  for (const auto& [app, counts] : per_app_) {
+    if (counts.dispatches == 0) continue;
+    const double x = static_cast<double>(counts.ops_served) /
+                     static_cast<double>(std::max(1u, counts.weight));
+    x_sum += x;
+    x_sq_sum += x * x;
+    ++fair_apps;
+  }
+  if (fair_apps > 1 && x_sq_sum > 0.0)
+    s.jain_fairness =
+        x_sum * x_sum / (static_cast<double>(fair_apps) * x_sq_sum);
 
   if (!batch_size_samples_.empty()) {
     double sum = 0.0;

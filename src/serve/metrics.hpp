@@ -52,11 +52,25 @@ struct MetricsSnapshot {
   double energy_pj = 0.0;
   core::ExecStats device_stats{};  ///< Aggregate over all dispatches.
 
-  /// Per-tenant completion/escalation counts.
+  /// Jain fairness index over weight-normalized per-app served ops,
+  /// (Σx)² / (n·Σx²) with x = ops_served / weight: 1.0 when every tenant
+  /// receives service exactly in weight proportion, → 1/n as one tenant
+  /// monopolizes. 1.0 when fewer than two tenants dispatched.
+  double jain_fairness = 1.0;
+
+  /// Per-tenant completion/escalation counts and fairness accounting.
   struct AppCounts {
     std::uint64_t completed = 0;
     std::uint64_t escalated = 0;
     std::uint64_t qos_misses = 0;  ///< Final results that still missed.
+    // -- Fairness (recorded at dispatch, serve/scheduler.hpp) -------------
+    std::uint32_t weight = 1;       ///< Scheduling weight in effect.
+    std::uint64_t dispatches = 0;   ///< Batches this app dispatched.
+    std::uint64_t ops_served = 0;   ///< Executed ops (expired excluded).
+    std::uint64_t max_deficit_carried = 0;  ///< Peak DRR deficit held.
+    /// Longest close-to-dispatch wait of any of this app's batches: the
+    /// starvation gap a fair scheduler bounds.
+    util::Cycles max_starvation_cycles = 0;
   };
   std::map<std::string, AppCounts> per_app;
 
@@ -83,6 +97,12 @@ class Metrics {
                         util::Cycles completion, bool escalated,
                         bool qos_missed);
   void record_escalation();
+  /// Fairness accounting for one dispatched batch: `ops` executed ops,
+  /// `queued_for` cycles between batch close and dispatch, and the DRR
+  /// deficit the tenant carried after being charged.
+  void record_tenant_dispatch(const std::string& app, std::uint32_t weight,
+                              std::size_t ops, util::Cycles queued_for,
+                              std::uint64_t deficit_carried);
 
   /// Consistent point-in-time view; callable while serving.
   [[nodiscard]] MetricsSnapshot snapshot() const;

@@ -1,0 +1,168 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace apim::serve {
+
+DrrScheduler::DrrScheduler(SchedulerConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.quantum_ops == 0) cfg_.quantum_ops = 1;
+  if (cfg_.default_weight == 0) cfg_.default_weight = 1;
+}
+
+std::uint32_t DrrScheduler::weight_of(const std::string& app) const {
+  const auto it = cfg_.weights.find(app);
+  const std::uint32_t w =
+      it == cfg_.weights.end() ? cfg_.default_weight : it->second;
+  return std::max<std::uint32_t>(1, w);
+}
+
+DrrScheduler::Tenant& DrrScheduler::tenant(const std::string& app) {
+  const auto [it, inserted] = tenants_.try_emplace(app);
+  if (inserted) it->second.weight = weight_of(app);
+  return it->second;
+}
+
+void DrrScheduler::enqueue(ClosedBatch&& batch) {
+  pending_requests_ += batch.members.size();
+  ++queued_batches_;
+  if (!cfg_.fair_share) {
+    fifo_.push_back(std::move(batch));
+    return;
+  }
+  Tenant& t = tenant(batch.key.app);
+  // Empty queue -> the tenant (re)activates at the ring tail; its deficit
+  // was reset to zero when it went idle, so a returning tenant starts a
+  // fresh DRR round rather than cashing in hoarded credit.
+  if (t.queue.empty()) ring_.push_back(batch.key.app);
+  t.queue.push_back(std::move(batch));
+}
+
+bool DrrScheduler::eligible(const Tenant& t, bool respect_caps) const {
+  if (t.queue.empty()) return false;
+  if (!respect_caps) return true;
+  // The share cap only binds while OTHER tenants have runnable work.
+  if (queued_batches_ == t.queue.size()) return true;
+  return t.in_flight < stream_cap(t);
+}
+
+std::size_t DrrScheduler::stream_cap(const Tenant& t) const {
+  // Share over tenants currently contending for streams: queued work or
+  // an in-flight dispatch. Floor, but never below one stream.
+  std::uint64_t total_weight = 0;
+  for (const auto& [name, u] : tenants_)
+    if (!u.queue.empty() || u.in_flight > 0) total_weight += u.weight;
+  if (total_weight == 0) return cfg_.streams;
+  const std::uint64_t share =
+      static_cast<std::uint64_t>(cfg_.streams) * t.weight / total_weight;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(share));
+}
+
+std::uint64_t DrrScheduler::quantum_for(const Tenant& t) const noexcept {
+  return static_cast<std::uint64_t>(cfg_.quantum_ops) * t.weight;
+}
+
+DispatchPick DrrScheduler::finish_pick(ClosedBatch&& batch,
+                                       const std::string& app,
+                                       std::uint32_t weight,
+                                       std::uint64_t deficit_carried,
+                                       util::Cycles now) {
+  --queued_batches_;
+  pending_requests_ -= batch.members.size();
+  DispatchPick pick;
+  pick.app = app;
+  pick.weight = weight;
+  pick.queued_for = now >= batch.closed_at ? now - batch.closed_at : 0;
+  pick.deficit_carried = deficit_carried;
+  pick.batch = std::move(batch);
+  return pick;
+}
+
+DispatchPick DrrScheduler::serve(std::size_t ring_index, util::Cycles now) {
+  const std::string app = ring_[ring_index];
+  Tenant& t = tenants_.at(app);
+  ClosedBatch batch = std::move(t.queue.front());
+  t.queue.pop_front();
+  assert(t.deficit >= batch.ops);
+  t.deficit -= batch.ops;
+  if (t.queue.empty()) {
+    t.deficit = 0;  // Going idle forfeits unused credit.
+    ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(ring_index));
+    cursor_ = ring_.empty() ? 0 : ring_index % ring_.size();
+  }
+  return finish_pick(std::move(batch), app, t.weight, t.deficit, now);
+}
+
+std::optional<DispatchPick> DrrScheduler::next(util::Cycles now) {
+  if (queued_batches_ == 0) return std::nullopt;
+
+  if (!cfg_.fair_share) {
+    ClosedBatch batch = std::move(fifo_.front());
+    fifo_.pop_front();
+    const std::string app = batch.key.app;
+    return finish_pick(std::move(batch), app, weight_of(app), 0, now);
+  }
+
+  // Pass 0 respects the per-tenant stream caps; pass 1 waives them so a
+  // free stream never idles while work is queued (spill-over).
+  for (const bool respect_caps : {true, false}) {
+    // Rotations until some eligible tenant's deficit covers its head
+    // batch; bounds the credit loop below.
+    std::uint64_t max_rotations = 0;
+    bool any_eligible = false;
+    for (const std::string& name : ring_) {
+      const Tenant& t = tenants_.at(name);
+      if (!eligible(t, respect_caps)) continue;
+      any_eligible = true;
+      const std::uint64_t head_ops = t.queue.front().ops;
+      if (head_ops > t.deficit) {
+        const std::uint64_t q = quantum_for(t);
+        max_rotations = std::max(
+            max_rotations, (head_ops - t.deficit + q - 1) / q);
+      }
+    }
+    if (!any_eligible) continue;
+
+    for (std::uint64_t rotation = 0; rotation <= max_rotations; ++rotation) {
+      // Serve the first tenant from the cursor whose deficit covers its
+      // head. The cursor parks on the served tenant, so it keeps the
+      // stream while its credit lasts (DRR's per-round burst).
+      for (std::size_t step = 0; step < ring_.size(); ++step) {
+        const std::size_t idx = (cursor_ + step) % ring_.size();
+        const Tenant& t = tenants_.at(ring_[idx]);
+        if (!eligible(t, respect_caps)) continue;
+        if (t.deficit >= t.queue.front().ops) {
+          cursor_ = idx;
+          return serve(idx, now);
+        }
+      }
+      // Nobody can afford their head: one full rotation of credit.
+      for (const std::string& name : ring_) {
+        Tenant& t = tenants_.at(name);
+        if (eligible(t, respect_caps)) t.deficit += quantum_for(t);
+      }
+    }
+    assert(false && "credited past max_rotations without a pick");
+  }
+  return std::nullopt;  // Unreachable: pass 1 always finds queued work.
+}
+
+void DrrScheduler::refund(const std::string& app, std::size_t ops) {
+  if (!cfg_.fair_share || ops == 0) return;
+  const auto it = tenants_.find(app);
+  if (it == tenants_.end() || it->second.queue.empty()) return;
+  it->second.deficit += ops;
+}
+
+void DrrScheduler::stream_acquired(const std::string& app) {
+  ++tenant(app).in_flight;
+}
+
+void DrrScheduler::stream_released(const std::string& app) {
+  Tenant& t = tenant(app);
+  assert(t.in_flight > 0);
+  --t.in_flight;
+}
+
+}  // namespace apim::serve

@@ -1,0 +1,118 @@
+// Fair-share dispatch scheduler: deficit round-robin (DRR) across tenants.
+//
+// Sits between DynamicBatcher (which closes single-tenant batches) and
+// stream dispatch in server.cpp. Each tenant app owns a FIFO queue of
+// closed batches plus a deficit counter in OPS; a round-robin ring visits
+// tenants with queued work and credits each visit `quantum * weight`
+// ops, so over any contention interval tenants receive service in
+// proportion to their configured weights regardless of how aggressively
+// one of them offers load (Shreedhar & Varghese's DRR, adapted to
+// batch-granular dispatch).
+//
+// Weighted stream allocation: while OTHER tenants have runnable batches,
+// a tenant may not hold more concurrent streams than its weight share
+// (floor(streams * w / W) over currently-active tenants, minimum one).
+// The policy is work-conserving: when nobody under their cap can use a
+// free stream, caps are waived and the stream spills to DRR order, so a
+// lone tenant still saturates the whole chip.
+//
+// Everything is driven by the single-threaded virtual-time engine, so
+// ring order, deficits and picks are deterministic for any host thread
+// count — the same contract as the batcher. `fair_share = false`
+// degenerates to the legacy global FIFO in batch-close order (the A/B
+// baseline for bench/ext_fairness) while keeping per-tenant attribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+
+namespace apim::serve {
+
+struct SchedulerConfig {
+  bool fair_share = true;
+  std::size_t streams = 1;
+  /// Ops credited per ring visit, scaled by the tenant's weight.
+  std::size_t quantum_ops = 1;
+  std::uint32_t default_weight = 1;
+  /// Per-app weights; unlisted apps get `default_weight`. Zero weights
+  /// are clamped to one (every tenant always makes progress).
+  std::map<std::string, std::uint32_t> weights;
+};
+
+/// One batch handed to a stream, with the accounting the metrics need.
+struct DispatchPick {
+  ClosedBatch batch;
+  std::string app;
+  std::uint32_t weight = 1;
+  /// Cycles the batch waited between closing and this pick (the
+  /// starvation gap the fairness metrics track).
+  util::Cycles queued_for = 0;
+  /// Deficit the tenant carries after being charged for this batch.
+  std::uint64_t deficit_carried = 0;
+};
+
+class DrrScheduler {
+ public:
+  explicit DrrScheduler(SchedulerConfig cfg);
+
+  /// Queue a closed batch under its tenant (batch.key.app).
+  void enqueue(ClosedBatch&& batch);
+
+  /// Pick the next batch to dispatch, or nullopt when nothing is queued.
+  /// Call only when a stream is free; the pick is final (no peeking).
+  [[nodiscard]] std::optional<DispatchPick> next(util::Cycles now);
+
+  /// Return deficit for ops that were charged at pick time but never
+  /// executed (deadline-expired members). Dropped when the tenant has no
+  /// queued work left — an idle tenant must not hoard credit.
+  void refund(const std::string& app, std::size_t ops);
+
+  /// Stream occupancy accounting for the per-tenant share caps.
+  void stream_acquired(const std::string& app);
+  void stream_released(const std::string& app);
+
+  [[nodiscard]] std::size_t pending_requests() const noexcept {
+    return pending_requests_;
+  }
+  [[nodiscard]] bool has_work() const noexcept { return queued_batches_ > 0; }
+  [[nodiscard]] std::uint32_t weight_of(const std::string& app) const;
+
+ private:
+  struct Tenant {
+    std::deque<ClosedBatch> queue;
+    std::uint64_t deficit = 0;
+    std::size_t in_flight = 0;
+    std::uint32_t weight = 1;
+  };
+
+  [[nodiscard]] Tenant& tenant(const std::string& app);
+  [[nodiscard]] bool eligible(const Tenant& t, bool respect_caps) const;
+  [[nodiscard]] std::size_t stream_cap(const Tenant& t) const;
+  [[nodiscard]] std::uint64_t quantum_for(const Tenant& t) const noexcept;
+  [[nodiscard]] DispatchPick serve(std::size_t ring_index, util::Cycles now);
+  [[nodiscard]] DispatchPick finish_pick(ClosedBatch&& batch,
+                                         const std::string& app,
+                                         std::uint32_t weight,
+                                         std::uint64_t deficit_carried,
+                                         util::Cycles now);
+
+  SchedulerConfig cfg_;
+  /// Tenant state, keyed by app name (total order: deterministic).
+  std::map<std::string, Tenant> tenants_;
+  /// Round-robin ring of tenants with queued work, in activation order.
+  std::vector<std::string> ring_;
+  std::size_t cursor_ = 0;
+  /// Legacy FIFO queue (fair_share = false).
+  std::deque<ClosedBatch> fifo_;
+  std::size_t queued_batches_ = 0;
+  std::size_t pending_requests_ = 0;
+};
+
+}  // namespace apim::serve

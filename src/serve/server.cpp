@@ -14,6 +14,7 @@
 
 #include "serve/batcher.hpp"
 #include "serve/executor.hpp"
+#include "serve/scheduler.hpp"
 #include "util/bitops.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,6 +38,17 @@ double golden_value(OpKind op, unsigned width, std::uint64_t a,
   const double ca = static_cast<double>(std::min(a, cap));
   const double cb = static_cast<double>(std::min(b, cap));
   return op == OpKind::kMultiply ? ca * cb : ca + cb;
+}
+
+SchedulerConfig scheduler_config(const ServerConfig& cfg) {
+  SchedulerConfig s;
+  s.fair_share = cfg.fair_share;
+  s.streams = cfg.streams;
+  s.quantum_ops =
+      cfg.drr_quantum_ops != 0 ? cfg.drr_quantum_ops : cfg.batch_op_budget();
+  s.default_weight = cfg.default_tenant_weight;
+  s.weights = cfg.tenant_weights;
+  return s;
 }
 
 }  // namespace
@@ -66,6 +78,7 @@ class Engine {
         table_(table),
         metrics_(metrics),
         batcher_(cfg.batch_window, cfg.batch_op_budget()),
+        sched_(scheduler_config(cfg)),
         free_streams_(cfg.streams) {
     assert(cfg_.streams >= 1 && cfg_.lanes_per_stream >= 1);
     assert(cfg_.queue_capacity >= 1);
@@ -95,12 +108,12 @@ class Engine {
   }
 
   [[nodiscard]] std::size_t queue_depth() const noexcept {
-    return batcher_.pending_requests() + dispatch_q_requests_;
+    return batcher_.pending_requests() + sched_.pending_requests();
   }
 
   [[nodiscard]] bool has_events() const {
     return !arrivals_.empty() || batcher_.pending_requests() > 0 ||
-           !dispatch_q_.empty() || !inflight_.empty();
+           sched_.has_work() || !inflight_.empty();
   }
 
   /// Advance to the next event time and process everything due. Returns
@@ -116,7 +129,7 @@ class Engine {
     for (const InFlight& f : inflight_) consider(f.completion);
     if (!next) {
       // Belt and braces: a closed batch with a free stream has no timer.
-      if (!dispatch_q_.empty() && free_streams_ > 0) {
+      if (sched_.has_work() && free_streams_ > 0) {
         try_dispatch();
         return true;
       }
@@ -141,6 +154,7 @@ class Engine {
     util::Cycles completion = 0;
     std::uint64_t seq = 0;
     std::vector<std::uint64_t> members;
+    std::string app;  ///< Tenant charged for the stream (share caps).
   };
 
   [[nodiscard]] bool admission_open() const noexcept {
@@ -177,10 +191,7 @@ class Engine {
       enqueue_closed(std::move(*closed));
   }
 
-  void enqueue_closed(ClosedBatch&& b) {
-    dispatch_q_requests_ += b.members.size();
-    dispatch_q_.push_back(std::move(b));
-  }
+  void enqueue_closed(ClosedBatch&& b) { sched_.enqueue(std::move(b)); }
 
   void admit_due() {
     while (!arrivals_.empty() && arrivals_.top().first <= now_) {
@@ -207,25 +218,29 @@ class Engine {
   }
 
   void try_dispatch() {
-    while (free_streams_ > 0 && !dispatch_q_.empty()) {
-      ClosedBatch batch = std::move(dispatch_q_.front());
-      dispatch_q_.pop_front();
-      dispatch_q_requests_ -= batch.members.size();
+    while (free_streams_ > 0) {
+      std::optional<DispatchPick> pick = sched_.next(now_);
+      if (!pick) break;
+      ClosedBatch batch = std::move(pick->batch);
 
       // Deadline check at dispatch: members whose (absolute) deadline has
-      // passed expire without executing — no lanes, no energy.
+      // passed expire without executing — no lanes, no energy. Their ops
+      // are refunded to the tenant's deficit: DRR rates EXECUTED ops.
       std::vector<std::uint64_t> live;
       live.reserve(batch.members.size());
+      std::size_t expired_ops = 0;
       for (const std::uint64_t id : batch.members) {
         PendingReq& p = at(id);
         const util::Cycles deadline =
             p.req.deadline != 0 ? p.req.deadline : cfg_.default_deadline;
         if (deadline != 0 && now_ > p.req.arrival + deadline) {
+          expired_ops += p.req.operands.size();
           finalize(p, RequestStatus::kExpired, now_);
         } else {
           live.push_back(id);
         }
       }
+      if (expired_ops > 0) sched_.refund(pick->app, expired_ops);
       if (live.empty()) continue;  // Nothing to run; stream stays free.
 
       std::vector<std::span<const std::pair<std::uint64_t, std::uint64_t>>>
@@ -242,6 +257,9 @@ class Engine {
       const util::Cycles completion = now_ + busy;
       metrics_.record_dispatch(live.size(), total_ops, exec.lanes_used, busy,
                                exec.energy_pj, exec.stats);
+      metrics_.record_tenant_dispatch(pick->app, pick->weight, total_ops,
+                                      pick->queued_for,
+                                      pick->deficit_carried);
       const double energy_per_op =
           total_ops == 0 ? 0.0
                          : exec.energy_pj / static_cast<double>(total_ops);
@@ -256,8 +274,9 @@ class Engine {
             energy_per_op * static_cast<double>(p.req.operands.size());
       }
       --free_streams_;
+      sched_.stream_acquired(pick->app);
       inflight_.push_back(InFlight{completion, next_dispatch_seq_++,
-                                   std::move(live)});
+                                   std::move(live), std::move(pick->app)});
     }
   }
 
@@ -278,6 +297,7 @@ class Engine {
       inflight_.erase(inflight_.begin() +
                       static_cast<std::ptrdiff_t>(best));
       ++free_streams_;
+      sched_.stream_released(done.app);
 
       for (const std::uint64_t id : done.members) {
         PendingReq& p = at(id);
@@ -314,6 +334,7 @@ class Engine {
   QosTable& table_;
   Metrics& metrics_;
   DynamicBatcher batcher_;
+  DrrScheduler sched_;
   std::size_t free_streams_;
   util::Cycles now_ = 0;
 
@@ -323,8 +344,6 @@ class Engine {
                       std::vector<std::pair<util::Cycles, std::uint64_t>>,
                       std::greater<>>
       arrivals_;
-  std::deque<ClosedBatch> dispatch_q_;
-  std::size_t dispatch_q_requests_ = 0;
   std::vector<InFlight> inflight_;
   std::uint64_t next_dispatch_seq_ = 0;
 };

@@ -14,7 +14,9 @@
 // Request lifecycle:
 //   submit/arrival -> admission (reject or block at capacity)
 //     -> relax level from the QoS table (exact fallback)
-//     -> dynamic batcher (same-shape coalescing within a window)
+//     -> dynamic batcher (same-shape, single-tenant coalescing)
+//     -> fair-share scheduler (per-tenant deficit round-robin with
+//        weighted stream allocation, serve/scheduler.hpp)
 //     -> dispatch on a free stream (deadline-expired members dropped)
 //     -> completion; QoS check vs host-exact golden
 //     -> on miss: escalate app to exact, re-execute once
@@ -29,7 +31,9 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/chip.hpp"
@@ -69,6 +73,21 @@ struct ServerConfig {
 
   /// Deadline applied to requests that carry none; 0 = unbounded.
   util::Cycles default_deadline = 0;
+
+  /// Fair-share dispatch (serve/scheduler.hpp): drain closed batches with
+  /// a per-tenant deficit round-robin and weighted stream allocation
+  /// instead of the legacy global FIFO in batch-close order. With one
+  /// tenant (or equal weights and no contention) the schedules coincide;
+  /// under contention DRR serves tenants' ops in weight proportion.
+  bool fair_share = true;
+  /// Scheduling weight per app; unlisted apps get `default_tenant_weight`
+  /// (zero clamps to one). Weights set both the DRR quantum scale and the
+  /// concurrent-stream share.
+  std::map<std::string, std::uint32_t> tenant_weights;
+  std::uint32_t default_tenant_weight = 1;
+  /// DRR quantum in ops credited per ring visit (scaled by the tenant's
+  /// weight); 0 means batch_op_budget() — one full dispatch per visit.
+  std::size_t drr_quantum_ops = 0;
 
   /// Latency SLO for reporting: target p99 in simulated cycles (0 = none).
   /// The scheduler does not gate on it; MetricsSnapshot::slo_met checks it.

@@ -27,8 +27,8 @@ double RunningStats::variance() const noexcept {
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double p) {
-  assert(!values.empty());
   assert(p >= 0.0 && p <= 1.0);
+  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
   const double pos = p * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

@@ -30,7 +30,10 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// p in [0,1]; linear interpolation between order statistics. Copies and
+/// p in [0,1]; linear interpolation between order statistics (the
+/// convention serve::Metrics latency percentiles are pinned to): at
+/// position p*(n-1), p=0 is the minimum, p=1 the maximum, a single
+/// sample is every percentile, and empty input yields 0.0. Copies and
 /// sorts, so intended for offline analysis, not hot loops.
 [[nodiscard]] double percentile(std::vector<double> values, double p);
 

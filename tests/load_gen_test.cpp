@@ -1,0 +1,133 @@
+// Load-generator tests: seeded reproducibility, Poisson arrival
+// statistics, and independence of per-tenant RNG streams (via the
+// scenario harness in tests/serve_harness.hpp).
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/load_gen.hpp"
+#include "serve_harness.hpp"
+
+namespace {
+
+using namespace apim;
+using serve::LoadGenConfig;
+using serve::Request;
+using serve_harness::Scenario;
+using serve_harness::TenantSpec;
+
+LoadGenConfig reference_config() {
+  LoadGenConfig gen;
+  gen.requests = 300;
+  gen.rate_per_kcycle = 8.0;
+  gen.seed = 4242;
+  gen.apps = {"alpha", "beta"};
+  gen.min_ops = 2;
+  gen.max_ops = 10;
+  gen.width = 16;
+  gen.add_fraction = 0.25;
+  gen.deadline = 5000;
+  return gen;
+}
+
+void expect_identical(const Request& a, const Request& b) {
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.width, b.width);
+  EXPECT_EQ(a.operands, b.operands);
+  EXPECT_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.deadline, b.deadline);
+}
+
+TEST(LoadGen, SameSeedSameTrace) {
+  const auto a = serve::make_open_loop_trace(reference_config());
+  const auto b = serve::make_open_loop_trace(reference_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+TEST(LoadGen, DifferentSeedDifferentTrace) {
+  const auto a = serve::make_open_loop_trace(reference_config());
+  LoadGenConfig other = reference_config();
+  other.seed = 4243;
+  const auto b = serve::make_open_loop_trace(other);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i)
+    any_difference = a[i].arrival != b[i].arrival ||
+                     a[i].operands != b[i].operands;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(LoadGen, TraceRespectsConfiguredShapes) {
+  const LoadGenConfig gen = reference_config();
+  for (const Request& r : serve::make_open_loop_trace(gen)) {
+    EXPECT_EQ(r.width, gen.width);
+    EXPECT_EQ(r.deadline, gen.deadline);
+    EXPECT_GE(r.operands.size(), gen.min_ops);
+    EXPECT_LE(r.operands.size(), gen.max_ops);
+    EXPECT_TRUE(r.app == "alpha" || r.app == "beta");
+    for (const auto& [x, y] : r.operands) {
+      EXPECT_LT(x, 1ull << gen.width);
+      EXPECT_LT(y, 1ull << gen.width);
+    }
+  }
+}
+
+TEST(LoadGen, ArrivalsAreSortedAndPoissonPaced) {
+  LoadGenConfig gen = reference_config();
+  gen.requests = 4000;
+  gen.rate_per_kcycle = 5.0;  // Mean inter-arrival gap: 200 cycles.
+  const auto trace = serve::make_open_loop_trace(gen);
+  double mean_gap = 0.0;
+  double mean_gap_sq = 0.0;
+  util::Cycles prev = 0;
+  for (const Request& r : trace) {
+    ASSERT_GE(r.arrival, prev);
+    const double gap = static_cast<double>(r.arrival - prev);
+    mean_gap += gap;
+    mean_gap_sq += gap * gap;
+    prev = r.arrival;
+  }
+  mean_gap /= static_cast<double>(trace.size());
+  mean_gap_sq /= static_cast<double>(trace.size());
+  // Sample mean within 10% of 1/rate, and an exponential's signature
+  // stddev ~= mean (coefficient of variation near one) — a deterministic
+  // check at this seed, a distribution check in spirit.
+  EXPECT_NEAR(mean_gap, 200.0, 20.0);
+  const double stddev = std::sqrt(mean_gap_sq - mean_gap * mean_gap);
+  EXPECT_NEAR(stddev / mean_gap, 1.0, 0.15);
+}
+
+TEST(LoadGen, TenantStreamsAreIndependent) {
+  // Each tenant's trace in a merged scenario is drawn from its own RNG
+  // stream: adding or reordering tenants must not perturb another
+  // tenant's arrivals or operands.
+  TenantSpec a;
+  a.name = "alpha";
+  a.requests = 120;
+  a.rate_per_kcycle = 6.0;
+  TenantSpec b = a;
+  b.name = "beta";
+  b.rate_per_kcycle = 11.0;
+
+  const std::uint64_t seed = 77;
+  EXPECT_NE(serve_harness::tenant_seed(seed, "alpha"),
+            serve_harness::tenant_seed(seed, "beta"));
+
+  const auto solo = serve_harness::tenant_trace(a, seed);
+  Scenario both;
+  both.seed = seed;
+  both.tenants = {b, a};  // Reordered on purpose.
+  std::vector<Request> alpha_part;
+  for (Request& r : serve_harness::merged_trace(both))
+    if (r.app == "alpha") alpha_part.push_back(std::move(r));
+  ASSERT_EQ(alpha_part.size(), solo.size());
+  for (std::size_t i = 0; i < solo.size(); ++i)
+    expect_identical(solo[i], alpha_part[i]);
+}
+
+}  // namespace

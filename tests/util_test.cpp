@@ -197,6 +197,28 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
 }
 
+TEST(Stats, PercentileEmptyInputYieldsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 1.0), 0.0);
+}
+
+TEST(Stats, PercentileSingleSampleIsEveryPercentile) {
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(percentile({42.0}, p), 42.0);
+}
+
+TEST(Stats, PercentileSortsInputAndHandlesTies) {
+  // Unsorted input with ties; position is p*(n-1) over the sorted copy.
+  std::vector<double> v{5, 1, 5, 1};  // sorted: 1 1 5 5
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);    // midway between 1 and 5
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 1.0);  // lands on the tie
+  // The caller's vector is untouched (percentile copies).
+  EXPECT_EQ(v, (std::vector<double>{5, 1, 5, 1}));
+}
+
 TEST(Stats, GeometricMean) {
   EXPECT_NEAR(geometric_mean({1.0, 100.0}), 10.0, 1e-9);
   EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
