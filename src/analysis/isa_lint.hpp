@@ -1,0 +1,49 @@
+// Static lint for assembled APIM ISA programs.
+//
+// Dataflow analysis over the Program's control-flow graph, run before a
+// kernel ever touches the interpreter. The rule catalog (ids are stable;
+// see docs/ARCHITECTURE.md "Static analysis"):
+//
+//   branch-target     error    jump/branch index outside [0, size)
+//   fall-off-end      error    a reachable path runs past the last
+//                              instruction without halt
+//   no-halt-path      error    no halt is reachable from the entry
+//   infinite-loop     warning  a reachable instruction cannot reach halt
+//   unreachable       warning  instruction reachable on no path
+//   use-before-def    error    register read before any write on some
+//                              path (r0 excepted: hard-wired zero)
+//   r0-write          warning  write to r0 is silently dropped
+//   mem-bounds        error    constant-derived load/store/vector address
+//                              outside the data memory
+//   vector-length     error    vadd/vmul element count <= 0
+//   vector-overlap    error    [rD] range partially overlaps [rA]/[rB]
+//                              (in-place, identical bases, is allowed)
+//   setrelax-range    error    setrelax immediate outside 0..64
+//   setmask-range     error    setmask immediate outside 0..32
+//   empty-program     warning  no instructions
+//
+// Address rules use an intraprocedural constant propagation over the
+// controller ops (load-imm / mov / addi / shl / shr); data ops and memory
+// loads produce unknown values, so approximation never fools the checker.
+// Registers start as the interpreter leaves them: constant zero.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/diagnostics.hpp"
+#include "isa/isa.hpp"
+
+namespace apim::analysis {
+
+struct LintOptions {
+  /// Data-memory size in words for bounds checks; 0 = unknown (only
+  /// negative constant addresses are flagged).
+  std::size_t memory_words = 0;
+};
+
+/// Run every lint rule over `program`. Diagnostics carry the assembler
+/// source line (program.source_lines) and the instruction index.
+[[nodiscard]] Report lint_program(const isa::Program& program,
+                                  const LintOptions& options = {});
+
+}  // namespace apim::analysis

@@ -1,0 +1,224 @@
+#include "analysis/schedule_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace apim::analysis {
+
+namespace {
+
+using crossbar::CellAddr;
+using magic::CellAccess;
+using magic::CellEvent;
+using magic::OpKind;
+using magic::Tracer;
+
+/// What the verifier knows about a cell's content.
+enum class CellState {
+  kUntouched,      ///< Never seen in the trace.
+  kInitialized,    ///< SET to '1' by an init batch (NOR-ready).
+  kDriverWritten,  ///< Last set by a driver write (value unknown).
+  kEvaluated,      ///< Last written by a NOR evaluation (may be '0').
+};
+
+[[nodiscard]] bool in_ranges(const std::vector<RowRange>& ranges,
+                             const CellAddr& a) noexcept {
+  return std::any_of(ranges.begin(), ranges.end(),
+                     [&](const RowRange& r) { return r.contains(a); });
+}
+
+class ScheduleChecker {
+ public:
+  ScheduleChecker(const Tracer& trace, const ScheduleCheckOptions& options)
+      : trace_(trace), options_(options) {}
+
+  Report run() {
+    if (!trace_.cell_events_enabled()) {
+      report_.add({Severity::kWarning, "no-cell-events", 0, -1,
+                   "tracer has row-resolved events disabled; schedule rules "
+                   "were not checked",
+                   "call Tracer::enable_cell_events(true) before executing"});
+      return std::move(report_);
+    }
+    if (trace_.overflowed()) {
+      report_.add({Severity::kError, "trace-overflow", 0, -1,
+                   "trace dropped " + std::to_string(trace_.dropped()) +
+                       " batch and " + std::to_string(trace_.dropped_cells()) +
+                       " cell events at capacity; a truncated trace cannot "
+                       "be verified",
+                   "raise the Tracer capacity"});
+      return std::move(report_);
+    }
+
+    for (const CellEvent& e : trace_.cell_events()) {
+      check_regions(e);
+      if (e.kind == OpKind::kNor) {
+        batch(e);
+      } else {
+        // Keep stream order: a pending NOR batch happened before this
+        // event (its completion stamp is just deferred for grouping).
+        flush_batch();
+        apply(e);
+      }
+    }
+    flush_batch();
+    return std::move(report_);
+  }
+
+ private:
+  void diag(Severity sev, const char* rule, const CellEvent& e,
+            std::string message, std::string hint = "") {
+    // One finding per (rule, cell): a bad loop touches the same cell
+    // thousands of times and would drown the report.
+    if (!reported_.emplace(rule, e.addr).second) return;
+    report_.add({sev, rule, 0, static_cast<std::int64_t>(e.cycle),
+                 to_string(e.addr) + ": " + std::move(message),
+                 std::move(hint)});
+  }
+
+  /// Rules independent of dataflow order: quarantine, spares, leaks.
+  void check_regions(const CellEvent& e) {
+    if (in_ranges(options_.quarantined, e.addr))
+      diag(Severity::kError, "quarantine-touch", e,
+           "access to a quarantined scratch band",
+           "rotate to a healthy band (RotatingScratchAllocator::next_band)");
+    if (options_.rows_per_block > 0 && e.addr.row >= options_.rows_per_block)
+      diag(Severity::kError, "spare-touch", e,
+           "direct access to physical spare row " + std::to_string(e.addr.row),
+           "spares are reached only through BlockedCrossbar::remap_row");
+    const bool is_output =
+        e.access == CellAccess::kInit ||
+        (e.access == CellAccess::kWrite && e.kind == OpKind::kNor);
+    if (is_output && !options_.scratch.empty() &&
+        !in_ranges(options_.scratch, e.addr) &&
+        !in_ranges(options_.preloaded, e.addr))
+      diag(Severity::kError, "scratch-leak", e,
+           "schedule output lands outside its declared scratch region",
+           "grow the scratch declaration or fix the lane mapping");
+  }
+
+  /// NOR batches are checked per completion cycle so same-cycle RAW/WAR
+  /// hazards across the batch's ops are visible.
+  void batch(const CellEvent& e) {
+    if (!nor_batch_.empty() && nor_batch_.front().cycle != e.cycle)
+      flush_batch();
+    nor_batch_.push_back(e);
+  }
+
+  void flush_batch() {
+    std::map<CellAddr, int> writes;
+    std::set<CellAddr> reads;
+    for (const CellEvent& e : nor_batch_) {
+      if (e.access == CellAccess::kWrite)
+        ++writes[e.addr];
+      else
+        reads.insert(e.addr);
+    }
+    for (const CellEvent& e : nor_batch_) {
+      if (e.access == CellAccess::kWrite) {
+        if (writes[e.addr] > 1)
+          diag(Severity::kError, "duplicate-dst", e,
+               "two NORs of one parallel batch share this output cell");
+        if (reads.count(e.addr) > 0)
+          diag(Severity::kError, "same-cycle-hazard", e,
+               "cell is both read and written in one batch cycle "
+               "(RAW/WAR: evaluation order within a cycle is undefined)",
+               "split the batch into two cycles");
+      }
+      apply(e);
+    }
+    nor_batch_.clear();
+  }
+
+  /// Dataflow state machine: init-before-NOR and uninitialized reads.
+  void apply(const CellEvent& e) {
+    CellState& state = states_[e.addr];
+    switch (e.access) {
+      case CellAccess::kInit:
+        state = CellState::kInitialized;
+        break;
+      case CellAccess::kWrite:
+        if (e.kind == OpKind::kNor) {
+          if (state == CellState::kEvaluated)
+            diag(Severity::kError, "nor-without-init", e,
+                 "NOR output cell was last written by an evaluation and "
+                 "never re-initialized (it may be stuck at '0')",
+                 "add the cell to the stage's init batch");
+          else if (state == CellState::kUntouched &&
+                   !in_ranges(options_.preloaded, e.addr))
+            diag(Severity::kError, "nor-without-init", e,
+                 "NOR output cell was never initialized to '1'",
+                 "add the cell to the stage's init batch");
+          else if (state == CellState::kDriverWritten)
+            diag(Severity::kWarning, "nor-on-written", e,
+                 "NOR output cell was last set by a driver write; RON "
+                 "cannot be statically proven");
+          state = CellState::kEvaluated;
+        } else {
+          state = CellState::kDriverWritten;
+        }
+        break;
+      case CellAccess::kRead:
+        if (state == CellState::kUntouched &&
+            !in_ranges(options_.preloaded, e.addr))
+          diag(Severity::kError, "uninit-read", e,
+               "read of a cell that was never written and is not declared "
+               "preloaded",
+               "declare operand rows / '0' references in "
+               "ScheduleCheckOptions::preloaded");
+        break;
+    }
+  }
+
+  const Tracer& trace_;
+  const ScheduleCheckOptions& options_;
+  Report report_;
+  std::map<CellAddr, CellState> states_;
+  std::vector<CellEvent> nor_batch_;
+  std::set<std::pair<std::string, CellAddr>> reported_;
+};
+
+}  // namespace
+
+void append_quarantined_bands(const crossbar::RotatingScratchAllocator& alloc,
+                              std::size_t block, std::vector<RowRange>& out) {
+  for (std::size_t i = 0; i < alloc.band_count(); ++i)
+    if (alloc.band_quarantined(i))
+      out.push_back(RowRange{block, alloc.band_base(i),
+                             alloc.band_base(i) + alloc.band_rows()});
+}
+
+Report check_schedule(const magic::Tracer& trace,
+                      const ScheduleCheckOptions& options) {
+  return ScheduleChecker(trace, options).run();
+}
+
+Report check_cycle_claim(const magic::Tracer& trace, util::Cycles claimed,
+                         const std::string& what) {
+  Report report;
+  if (trace.overflowed()) {
+    report.add({Severity::kError, "trace-overflow", 0, -1,
+                "trace dropped events at capacity; its cycle count is not "
+                "trustworthy for " + what,
+                "raise the Tracer capacity"});
+    return report;
+  }
+  // Events carry completion stamps from an engine whose counter started
+  // at 0, so the largest stamp is the schedule's total cycle count.
+  util::Cycles measured = 0;
+  for (const magic::TraceEvent& e : trace.events())
+    measured = std::max(measured, e.cycle);
+  if (measured != claimed)
+    report.add({Severity::kError, "cycle-model-drift", 0,
+                static_cast<std::int64_t>(measured),
+                "trace shows " + std::to_string(measured) +
+                    " cycles but the latency model claims " +
+                    std::to_string(claimed) + " for " + what,
+                "the schedule and arith/latency_model.hpp disagree — one of "
+                "them changed without the other"});
+  return report;
+}
+
+}  // namespace apim::analysis

@@ -1,0 +1,88 @@
+// Post-hoc verifier for MAGIC schedules, driven by row-resolved traces.
+//
+// A Tracer with cell events enabled records which cell every micro-op
+// batch touched and when; this pass replays those events against the
+// crossbar's resource rules, so a schedule bug that the cycle-accurate
+// run silently survives (e.g. a forgotten init that happened to land on
+// a cell still holding '1') becomes a hard diagnostic. Rule catalog
+// (docs/ARCHITECTURE.md "Static analysis"):
+//
+//   trace-overflow      error    the trace dropped events; verification
+//                                over a truncated trace is unsound
+//   nor-without-init    error    NOR output cell not initialized to '1'
+//                                since it was last evaluated
+//   nor-on-written      warning  NOR output last set by a driver write —
+//                                RON cannot be statically proven
+//   uninit-read         error    evaluation/SA read of a cell that was
+//                                never written and is not declared
+//                                preloaded (operand rows, '0' references)
+//   same-cycle-hazard   error    a cell is both read and written by the
+//                                same NOR batch cycle (RAW/WAR)
+//   duplicate-dst       error    two NORs of one batch share an output
+//   quarantine-touch    error    any access to a quarantined scratch band
+//   spare-touch         error    direct access to a physical spare row
+//                                (spares are reached via remapping only)
+//   scratch-leak        error    init/NOR output outside the declared
+//                                scratch region (and outside preloaded
+//                                rows)
+//
+// The companion check_cycle_claim pins trace-derived cycle counts to the
+// closed-form latency model, turning model drift into a failing check
+// instead of a quietly wrong CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "crossbar/scratch_allocator.hpp"
+#include "magic/trace.hpp"
+#include "util/units.hpp"
+
+namespace apim::analysis {
+
+/// Half-open row range [row_begin, row_end) within one crossbar block.
+struct RowRange {
+  std::size_t block = 0;
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+
+  [[nodiscard]] bool contains(const crossbar::CellAddr& a) const noexcept {
+    return a.block == block && a.row >= row_begin && a.row < row_end;
+  }
+};
+
+struct ScheduleCheckOptions {
+  /// Rows assumed valid at trace start: operand rows loaded before
+  /// tracing began and grounded '0' reference cells. Reads of anything
+  /// else require a prior traced write.
+  std::vector<RowRange> preloaded;
+  /// When non-empty: the scratch region the schedule was granted. Any
+  /// init / NOR output outside `scratch` and `preloaded` is a leak.
+  std::vector<RowRange> scratch;
+  /// Quarantined rows (e.g. BIST-failed scratch bands): no access at all.
+  std::vector<RowRange> quarantined;
+  /// Logical rows per block; a touch at row >= this addresses a physical
+  /// spare directly, bypassing the remap layer. 0 disables the rule.
+  std::size_t rows_per_block = 0;
+};
+
+/// Append allocator bands currently quarantined as RowRange entries for
+/// `block` (convenience for wiring BIST results into the checker).
+void append_quarantined_bands(const crossbar::RotatingScratchAllocator& alloc,
+                              std::size_t block, std::vector<RowRange>& out);
+
+/// Verify the crossbar resource rules over `trace`'s cell events.
+[[nodiscard]] Report check_schedule(const magic::Tracer& trace,
+                                    const ScheduleCheckOptions& options = {});
+
+/// Cycle-accounting consistency: the trace's total cycle count must equal
+/// the latency model's `claimed` figure for the operation named `what`
+/// (e.g. serial_add_cycles(n) for a 12N+1 ripple add). A perturbed model
+/// constant — or a schedule that drifted — fails here instead of skewing
+/// result CSVs.
+[[nodiscard]] Report check_cycle_claim(const magic::Tracer& trace,
+                                       util::Cycles claimed,
+                                       const std::string& what);
+
+}  // namespace apim::analysis

@@ -187,11 +187,12 @@ void load_word(BlockedCrossbar& xbar, const CellAddr& start, unsigned width,
 }  // namespace
 
 InMemoryResult inmemory_serial_add(std::uint64_t a, std::uint64_t b,
-                                   unsigned n,
-                                   const device::EnergyModel& em) {
+                                   unsigned n, const device::EnergyModel& em,
+                                   magic::Tracer* tracer) {
   assert(n >= 1 && n <= 63 && n + 1 <= 64);
   BlockedCrossbar xbar{CrossbarConfig{2, 16, std::max<std::size_t>(n + 1, 8)}};
   MagicEngine engine{xbar, em};
+  engine.attach_tracer(tracer);
   load_word(xbar, CellAddr{1, 0, 0}, n, a & low_mask(n));
   load_word(xbar, CellAddr{1, 1, 0}, n, b & low_mask(n));
 
@@ -203,11 +204,13 @@ InMemoryResult inmemory_serial_add(std::uint64_t a, std::uint64_t b,
 }
 
 CsaOutcome inmemory_csa(std::uint64_t a, std::uint64_t b, std::uint64_t c,
-                        unsigned width, const device::EnergyModel& em) {
+                        unsigned width, const device::EnergyModel& em,
+                        magic::Tracer* tracer) {
   assert(width >= 1 && width <= 63);
   BlockedCrossbar xbar{
       CrossbarConfig{2, 16, std::max<std::size_t>(width + 2, 8)}};
   MagicEngine engine{xbar, em};
+  engine.attach_tracer(tracer);
   const std::uint64_t mask = low_mask(width);
   load_word(xbar, CellAddr{1, 0, 0}, width, a & mask);
   load_word(xbar, CellAddr{1, 1, 0}, width, b & mask);
@@ -241,7 +244,8 @@ CsaOutcome inmemory_csa(std::uint64_t a, std::uint64_t b, std::uint64_t c,
 InMemoryResult inmemory_tree_add(std::span<const std::uint64_t> values,
                                  std::span<const unsigned> widths,
                                  unsigned width_cap,
-                                 const device::EnergyModel& em) {
+                                 const device::EnergyModel& em,
+                                 magic::Tracer* tracer) {
   assert(values.size() == widths.size());
   assert(!values.empty());
 
@@ -259,6 +263,7 @@ InMemoryResult inmemory_tree_add(std::span<const std::uint64_t> values,
   const std::size_t cols = static_cast<std::size_t>(width_cap) + 2;
   BlockedCrossbar xbar{CrossbarConfig{3, rows, cols}};
   MagicEngine engine{xbar, em};
+  engine.attach_tracer(tracer);
   for (std::size_t i = 0; i < values.size(); ++i) {
     const TreeOperand& op = plan.operands[i];
     load_word(xbar, CellAddr{op.block, op.row, 0}, widths[i],
@@ -283,10 +288,12 @@ InMemoryResult inmemory_tree_add(std::span<const std::uint64_t> values,
 
 InMemoryResult inmemory_relaxed_add(std::uint64_t a, std::uint64_t b,
                                     unsigned n, unsigned relax_m,
-                                    const device::EnergyModel& em) {
+                                    const device::EnergyModel& em,
+                                    magic::Tracer* tracer) {
   assert(n >= 1 && n <= 63);
   BlockedCrossbar xbar{CrossbarConfig{2, 20, std::max<std::size_t>(n + 2, 8)}};
   MagicEngine engine{xbar, em};
+  engine.attach_tracer(tracer);
   load_word(xbar, CellAddr{1, 0, 0}, n, a & low_mask(n));
   load_word(xbar, CellAddr{1, 1, 0}, n, b & low_mask(n));
 
@@ -299,7 +306,8 @@ InMemoryResult inmemory_relaxed_add(std::uint64_t a, std::uint64_t b,
 
 InMemoryResult inmemory_multiply(std::uint64_t a, std::uint64_t b, unsigned n,
                                  ApproxConfig cfg,
-                                 const device::EnergyModel& em) {
+                                 const device::EnergyModel& em,
+                                 magic::Tracer* tracer) {
   assert(n >= 1 && n <= 32);
   a &= low_mask(n);
   b &= low_mask(n);
@@ -331,6 +339,7 @@ InMemoryResult inmemory_multiply(std::uint64_t a, std::uint64_t b, unsigned n,
   const std::size_t cols = static_cast<std::size_t>(product_width) + 2;
   BlockedCrossbar xbar{CrossbarConfig{3, rows, cols}};
   MagicEngine engine{xbar, em};
+  engine.attach_tracer(tracer);
   // Data block (0): multiplicand row 0, multiplier row 1, inverted image
   // row 2.
   load_word(xbar, CellAddr{0, 0, 0}, n, a);

@@ -6,6 +6,10 @@
 // the measured cycle count and micro-op energy. These are the ground truth
 // that the word-level fast models (fast_units.hpp) are property-tested
 // against, and the basis of the microbenchmarks (Figure 6, ablations).
+// Every entry point accepts an optional magic::Tracer; with row-resolved
+// events enabled the recorded schedule feeds the static verifier
+// (analysis/schedule_check.hpp), which the arith tests run as an
+// assertion layer over these very schedules.
 #pragma once
 
 #include <cstdint>
@@ -29,9 +33,9 @@ struct InMemoryResult {
 
 /// Serial (ripple) MAGIC addition of two n-bit numbers: 12n+1 cycles.
 /// Result includes the carry out (n+1 bits).
-[[nodiscard]] InMemoryResult inmemory_serial_add(std::uint64_t a,
-                                                 std::uint64_t b, unsigned n,
-                                                 const device::EnergyModel& em);
+[[nodiscard]] InMemoryResult inmemory_serial_add(
+    std::uint64_t a, std::uint64_t b, unsigned n,
+    const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
 
 /// One carry-save 3:2 stage over `width`-bit operands: 13 cycles
 /// independent of width. Returns sum and (aligned) carry words.
@@ -43,7 +47,8 @@ struct CsaOutcome {
 };
 [[nodiscard]] CsaOutcome inmemory_csa(std::uint64_t a, std::uint64_t b,
                                       std::uint64_t c, unsigned width,
-                                      const device::EnergyModel& em);
+                                      const device::EnergyModel& em,
+                                      magic::Tracer* tracer = nullptr);
 
 /// Full multi-operand addition: Wallace-tree 3:2 reduction toggling between
 /// two processing blocks, then one serial add of the two survivors.
@@ -51,20 +56,19 @@ struct CsaOutcome {
 /// (callers typically pass n + ceil(log2(M))).
 [[nodiscard]] InMemoryResult inmemory_tree_add(
     std::span<const std::uint64_t> values, std::span<const unsigned> widths,
-    unsigned width_cap, const device::EnergyModel& em);
+    unsigned width_cap, const device::EnergyModel& em,
+    magic::Tracer* tracer = nullptr);
 
 /// Full NxN in-memory multiplication through the three-stage pipeline with
 /// the given approximation configuration. n <= 32.
-[[nodiscard]] InMemoryResult inmemory_multiply(std::uint64_t a,
-                                               std::uint64_t b, unsigned n,
-                                               ApproxConfig cfg,
-                                               const device::EnergyModel& em);
+[[nodiscard]] InMemoryResult inmemory_multiply(
+    std::uint64_t a, std::uint64_t b, unsigned n, ApproxConfig cfg,
+    const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
 
 /// Standalone relaxed addition (SA-majority carries, approximated sums in
 /// the low `relax_m` bits): 13(n-m) + 2m + 1 cycles.
-[[nodiscard]] InMemoryResult inmemory_relaxed_add(std::uint64_t a,
-                                                  std::uint64_t b, unsigned n,
-                                                  unsigned relax_m,
-                                                  const device::EnergyModel& em);
+[[nodiscard]] InMemoryResult inmemory_relaxed_add(
+    std::uint64_t a, std::uint64_t b, unsigned n, unsigned relax_m,
+    const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
 
 }  // namespace apim::arith

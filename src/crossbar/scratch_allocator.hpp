@@ -24,6 +24,10 @@ class RotatingScratchAllocator {
   /// Rows available as scratch bands.
   [[nodiscard]] std::size_t band_count() const noexcept { return bands_; }
 
+  /// Height of each band in rows (the schedule verifier uses this to turn
+  /// quarantined band indices back into row ranges).
+  [[nodiscard]] std::size_t band_rows() const noexcept { return band_rows_; }
+
   /// Base row of the next healthy band (round robin over non-quarantined
   /// bands). Precondition: at least one band is healthy.
   [[nodiscard]] std::size_t next_band();

@@ -150,7 +150,11 @@ void expect_operands(const ParsedLine& p, std::size_t count,
 
 Program assemble(std::string_view source) {
   Program program;
-  std::map<std::string, std::size_t> labels;
+  struct LabelDef {
+    std::size_t instruction;
+    std::uint32_t line;
+  };
+  std::map<std::string, LabelDef> labels;
   struct Fixup {
     std::size_t instruction;
     std::string label;
@@ -171,8 +175,13 @@ Program assemble(std::string_view source) {
 
     const ParsedLine p = parse_line(raw, line_number);
     if (!p.label.empty()) {
-      if (!labels.emplace(p.label, program.code.size()).second)
-        throw AssemblyError(line_number, "duplicate label '" + p.label + "'");
+      const auto [it, inserted] = labels.emplace(
+          p.label, LabelDef{program.code.size(), line_number});
+      if (!inserted)
+        throw AssemblyError(line_number,
+                            "duplicate label '" + p.label +
+                                "' (first defined at line " +
+                                std::to_string(it->second.line) + ")");
     }
     if (p.mnemonic.empty()) continue;
 
@@ -274,7 +283,7 @@ Program assemble(std::string_view source) {
     if (it == labels.end())
       throw AssemblyError(fixup.line, "undefined label '" + fixup.label + "'");
     program.code[fixup.instruction].imm =
-        static_cast<std::int64_t>(it->second);
+        static_cast<std::int64_t>(it->second.instruction);
   }
   return program;
 }

@@ -14,6 +14,12 @@ void MagicEngine::trace(OpKind kind, std::uint32_t cells, bool overlapped) {
     tracer_->record(TraceEvent{stats_.cycles, kind, cells, overlapped});
 }
 
+void MagicEngine::trace_cell(OpKind kind, CellAccess access,
+                             const crossbar::CellAddr& addr,
+                             util::Cycles cycle) {
+  tracer_->record_cell(CellEvent{cycle, kind, access, addr});
+}
+
 void MagicEngine::init_cells(std::span<const crossbar::CellAddr> cells,
                              bool overlapped) {
   for (const auto& addr : cells) {
@@ -23,6 +29,9 @@ void MagicEngine::init_cells(std::span<const crossbar::CellAddr> cells,
   }
   if (!overlapped) ++stats_.cycles;
   trace(OpKind::kInit, static_cast<std::uint32_t>(cells.size()), overlapped);
+  if (cell_trace_on())
+    for (const auto& addr : cells)
+      trace_cell(OpKind::kInit, CellAccess::kInit, addr, stats_.cycles);
 }
 
 void MagicEngine::execute_nor(const NorOp& op) {
@@ -57,6 +66,14 @@ void MagicEngine::execute_nor(const NorOp& op) {
   xbar_.set(op.dst, result);
   stats_.energy_ops_pj += energy_.nor_energy_pj(ones, zeros, switches);
   ++stats_.nor_ops;
+  if (cell_trace_on()) {
+    // The callers charge the batch cycle after execute_nor returns, so the
+    // completion stamp all of this op's touches share is cycles + 1.
+    const util::Cycles done = stats_.cycles + 1;
+    trace_cell(OpKind::kNor, CellAccess::kWrite, op.dst, done);
+    for (const auto& in : op.inputs)
+      trace_cell(OpKind::kNor, CellAccess::kRead, in, done);
+  }
 }
 
 void MagicEngine::nor(const crossbar::CellAddr& dst,
@@ -90,6 +107,8 @@ bool MagicEngine::read_bit(const crossbar::CellAddr& addr) {
   stats_.energy_ops_pj += energy_.e_read_pj;
   ++stats_.reads;
   trace(OpKind::kRead, 1, /*overlapped=*/true);
+  if (cell_trace_on())
+    trace_cell(OpKind::kRead, CellAccess::kRead, addr, stats_.cycles);
   return value;
 }
 
@@ -107,6 +126,11 @@ bool MagicEngine::sa_majority(const crossbar::CellAddr& a,
   ++stats_.majority_ops;
   ++stats_.cycles;
   trace(OpKind::kMajority, 1);
+  if (cell_trace_on()) {
+    trace_cell(OpKind::kMajority, CellAccess::kRead, a, stats_.cycles);
+    trace_cell(OpKind::kMajority, CellAccess::kRead, b, stats_.cycles);
+    trace_cell(OpKind::kMajority, CellAccess::kRead, c, stats_.cycles);
+  }
   return result;
 }
 
@@ -116,6 +140,8 @@ void MagicEngine::write_bit(const crossbar::CellAddr& addr, bool value) {
   ++stats_.writes;
   ++stats_.cycles;
   trace(OpKind::kWrite, 1);
+  if (cell_trace_on())
+    trace_cell(OpKind::kWrite, CellAccess::kWrite, addr, stats_.cycles);
 }
 
 void MagicEngine::write_word(const crossbar::CellAddr& start, unsigned width,
@@ -128,6 +154,11 @@ void MagicEngine::write_word(const crossbar::CellAddr& start, unsigned width,
   }
   ++stats_.cycles;
   trace(OpKind::kWrite, width);
+  if (cell_trace_on())
+    for (unsigned i = 0; i < width; ++i)
+      trace_cell(OpKind::kWrite, CellAccess::kWrite,
+                 crossbar::CellAddr{start.block, start.row, start.col + i},
+                 stats_.cycles);
 }
 
 std::uint64_t MagicEngine::peek_word(const crossbar::CellAddr& start,

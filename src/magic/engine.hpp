@@ -119,6 +119,13 @@ class MagicEngine {
 
   void trace(OpKind kind, std::uint32_t cells, bool overlapped = false);
 
+  /// Row-resolved cell event (only when the attached tracer opted in).
+  void trace_cell(OpKind kind, CellAccess access,
+                  const crossbar::CellAddr& addr, util::Cycles cycle);
+  [[nodiscard]] bool cell_trace_on() const noexcept {
+    return tracer_ != nullptr && tracer_->cell_events_enabled();
+  }
+
   crossbar::BlockedCrossbar& xbar_;
   const device::EnergyModel& energy_;
   EngineStats stats_;

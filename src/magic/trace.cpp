@@ -12,9 +12,20 @@ void Tracer::record(TraceEvent event) {
   events_.push_back(event);
 }
 
+void Tracer::record_cell(CellEvent event) {
+  if (!cell_events_enabled_) return;
+  if (cell_events_.size() >= cell_capacity_) {
+    ++dropped_cells_;
+    return;
+  }
+  cell_events_.push_back(event);
+}
+
 void Tracer::clear() {
   events_.clear();
+  cell_events_.clear();
   dropped_ = 0;
+  dropped_cells_ = 0;
 }
 
 std::uint64_t Tracer::count(OpKind kind) const noexcept {
@@ -43,7 +54,13 @@ std::string Tracer::format(std::size_t max_lines) const {
     if (e.overlapped) out << " (overlapped)";
     out << '\n';
   }
-  if (dropped_ > 0) out << "(" << dropped_ << " events dropped)\n";
+  out << events_.size() << " events (" << dropped_
+      << " dropped at capacity)";
+  if (cell_events_enabled_) {
+    out << ", " << cell_events_.size() << " cell touches (" << dropped_cells_
+        << " dropped at capacity)";
+  }
+  out << '\n';
   return out.str();
 }
 

@@ -4,12 +4,21 @@
 // cycle number, kind, cell count — so schedules can be inspected,
 // visualized and regression-tested at the micro-op level. Tracing is
 // opt-in (attach a Tracer to the engine) and costs nothing when disabled.
+//
+// Row-resolved mode (enable_cell_events) additionally records one
+// CellEvent per cell touched — which cell, read or written, at which
+// cycle — the input of the static schedule verifier
+// (analysis/schedule_check.hpp), which replays the crossbar resource
+// rules (init-before-NOR, same-cycle hazards, quarantine, scratch leaks)
+// post-hoc. Cell events cost memory proportional to cells touched, so
+// they stay off unless a checker asks.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "crossbar/address.hpp"
 #include "magic/ops.hpp"
 #include "util/units.hpp"
 
@@ -22,11 +31,41 @@ struct TraceEvent {
   bool overlapped = false;  ///< True for zero-cycle (overlapped) batches.
 };
 
+/// How one cell was touched within a batch.
+enum class CellAccess : std::uint8_t {
+  kInit,   ///< Unconditional SET to '1' (MAGIC output precondition).
+  kWrite,  ///< Driver write or NOR evaluation output.
+  kRead,   ///< Evaluation input or sense-amp read.
+};
+
+[[nodiscard]] constexpr const char* to_string(CellAccess a) noexcept {
+  switch (a) {
+    case CellAccess::kInit: return "init";
+    case CellAccess::kWrite: return "write";
+    case CellAccess::kRead: return "read";
+  }
+  return "?";
+}
+
+/// One cell touch in row-resolved mode. `cycle` is the completion cycle
+/// of the batch the touch belongs to, so all touches of one NOR batch
+/// share a stamp — which is exactly the granularity the same-cycle
+/// hazard rules need.
+struct CellEvent {
+  util::Cycles cycle = 0;
+  OpKind kind = OpKind::kNor;
+  CellAccess access = CellAccess::kRead;
+  crossbar::CellAddr addr;
+};
+
 class Tracer {
  public:
-  /// `capacity` bounds memory; older events are dropped once exceeded
-  /// (the drop count is reported).
-  explicit Tracer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+  /// `capacity` bounds batch-event memory; once exceeded, *newer* events
+  /// are dropped and counted (the prefix of a schedule is kept intact;
+  /// dropped() reports the loss and format() notes it). Cell events get
+  /// 16x the capacity (a batch touches many cells) with the same policy.
+  explicit Tracer(std::size_t capacity = 1 << 20)
+      : capacity_(capacity), cell_capacity_(capacity * 16) {}
 
   void record(TraceEvent event);
 
@@ -36,18 +75,44 @@ class Tracer {
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   void clear();
 
+  // -- Row-resolved mode ---------------------------------------------------
+
+  /// Opt in to per-cell events (off by default: they cost memory).
+  void enable_cell_events(bool on) noexcept { cell_events_enabled_ = on; }
+  [[nodiscard]] bool cell_events_enabled() const noexcept {
+    return cell_events_enabled_;
+  }
+  void record_cell(CellEvent event);
+  [[nodiscard]] const std::vector<CellEvent>& cell_events() const noexcept {
+    return cell_events_;
+  }
+  [[nodiscard]] std::uint64_t dropped_cells() const noexcept {
+    return dropped_cells_;
+  }
+  /// True when any event (batch or cell) was lost to capacity — a trace
+  /// that overflowed is not a sound basis for verification.
+  [[nodiscard]] bool overflowed() const noexcept {
+    return dropped_ > 0 || dropped_cells_ > 0;
+  }
+
   /// Events per op kind (init/nor/write/read/majority/idle).
   [[nodiscard]] std::uint64_t count(OpKind kind) const noexcept;
   /// Total cells touched by batches of `kind`.
   [[nodiscard]] std::uint64_t cells(OpKind kind) const noexcept;
 
   /// Human-readable schedule dump ("cycle 3: nor x32") for debugging.
+  /// Always ends with a summary line noting totals and any dropped
+  /// batch/cell events, so a truncated dump cannot pass as complete.
   [[nodiscard]] std::string format(std::size_t max_lines = 64) const;
 
  private:
   std::size_t capacity_;
+  std::size_t cell_capacity_;
+  bool cell_events_enabled_ = false;
   std::vector<TraceEvent> events_;
+  std::vector<CellEvent> cell_events_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_cells_ = 0;
 };
 
 }  // namespace apim::magic

@@ -88,10 +88,79 @@ TEST_F(TraceTest, CapacityBoundsMemory) {
   EXPECT_EQ(small.dropped(), 6u);
 }
 
+TEST_F(TraceTest, CapacityDropsNewestKeepingThePrefix) {
+  Tracer small(4);
+  engine_.attach_tracer(&small);
+  for (int i = 0; i < 6; ++i)
+    engine_.write_bit(CellAddr{0, 5, static_cast<std::size_t>(i)}, true);
+  // The retained events are the first four batches, in order: the prefix
+  // of the schedule stays intact for inspection.
+  ASSERT_EQ(small.events().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(small.events()[i].cycle, i + 1);
+  EXPECT_TRUE(small.overflowed());
+}
+
+TEST_F(TraceTest, CellEventsAreOffByDefault) {
+  engine_.write_bit(CellAddr{0, 0, 0}, true);
+  EXPECT_TRUE(tracer_.cell_events().empty());
+  EXPECT_FALSE(tracer_.overflowed());
+}
+
+TEST_F(TraceTest, CellEventsRecordRowResolvedSchedule) {
+  tracer_.enable_cell_events(true);
+  std::vector<CellAddr> init{CellAddr{0, 3, 0}};
+  engine_.init_cells(init);
+  engine_.nor(CellAddr{0, 3, 0}, init);  // Reads and writes the same cell.
+  ASSERT_EQ(tracer_.cell_events().size(), 3u);
+  EXPECT_EQ(tracer_.cell_events()[0].access, CellAccess::kInit);
+  EXPECT_EQ(tracer_.cell_events()[0].cycle, 1u);
+  EXPECT_EQ(tracer_.cell_events()[1].access, CellAccess::kWrite);
+  EXPECT_EQ(tracer_.cell_events()[1].kind, OpKind::kNor);
+  EXPECT_EQ(tracer_.cell_events()[2].access, CellAccess::kRead);
+  // All touches of one NOR batch share the batch's completion cycle.
+  EXPECT_EQ(tracer_.cell_events()[1].cycle, 2u);
+  EXPECT_EQ(tracer_.cell_events()[2].cycle, 2u);
+}
+
+TEST_F(TraceTest, CellEventCapacityOverflowIsCountedAndFlagged) {
+  Tracer small(2);  // Cell capacity is 16x the batch capacity: 32 events.
+  small.enable_cell_events(true);
+  engine_.attach_tracer(&small);
+  for (int i = 0; i < 40; ++i)
+    engine_.write_bit(CellAddr{0, 6, static_cast<std::size_t>(i % 8)},
+                      true);
+  EXPECT_EQ(small.cell_events().size(), 32u);
+  EXPECT_EQ(small.dropped_cells(), 8u);
+  EXPECT_TRUE(small.overflowed());
+  // clear() resets the cell-side state too.
+  small.clear();
+  EXPECT_TRUE(small.cell_events().empty());
+  EXPECT_EQ(small.dropped_cells(), 0u);
+  EXPECT_FALSE(small.overflowed());
+}
+
 TEST_F(TraceTest, FormatProducesReadableSchedule) {
   engine_.write_bit(CellAddr{0, 0, 0}, true);
   const std::string text = tracer_.format();
   EXPECT_NE(text.find("cycle 1: write x1"), std::string::npos);
+}
+
+TEST_F(TraceTest, FormatSummaryReportsDroppedEvents) {
+  Tracer small(4);
+  engine_.attach_tracer(&small);
+  for (int i = 0; i < 10; ++i)
+    engine_.write_bit(CellAddr{0, 5, static_cast<std::size_t>(i % 8)},
+                      true);
+  const std::string text = small.format();
+  // A truncated dump must say so instead of passing as complete.
+  EXPECT_NE(text.find("6 dropped"), std::string::npos) << text;
+}
+
+TEST_F(TraceTest, FormatSummaryOnCleanTraceReportsNoDrops) {
+  engine_.write_bit(CellAddr{0, 0, 0}, true);
+  const std::string text = tracer_.format();
+  EXPECT_NE(text.find("0 dropped"), std::string::npos) << text;
 }
 
 TEST_F(TraceTest, ClearResets) {

@@ -5,6 +5,7 @@
 //   apim_asm kernel.s --memsize 64     # zero-filled memory of 64 words
 //   apim_asm kernel.s --relax 24       # device approximation setting
 //   apim_asm kernel.s --disasm         # print the assembled program only
+//   apim_asm kernel.s --lint           # static checks gate execution
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/isa_lint.hpp"
 #include "isa/assembler.hpp"
 #include "isa/interpreter.hpp"
 
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s KERNEL.s [--mem v0,v1,...] [--memsize N] "
-                 "[--relax M] [--disasm]\n",
+                 "[--relax M] [--disasm] [--lint]\n",
                  argv[0]);
     return 2;
   }
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   std::size_t memsize = 0;
   unsigned relax = 0;
   bool disasm_only = false;
+  bool lint = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--mem" && i + 1 < argc) {
@@ -55,6 +58,8 @@ int main(int argc, char** argv) {
       relax = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--disasm") {
       disasm_only = true;
+    } else if (arg == "--lint") {
+      lint = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -82,6 +87,19 @@ int main(int argc, char** argv) {
   if (disasm_only) {
     std::fputs(program.disassemble().c_str(), stdout);
     return 0;
+  }
+
+  if (lint) {
+    // The actual run knows the real data-memory size, so the bounds rules
+    // get the exact figure. Errors gate execution.
+    const analysis::Report report = analysis::lint_program(
+        program, analysis::LintOptions{memory.size()});
+    if (!report.empty())
+      std::fprintf(stderr, "%s", report.format().c_str());
+    if (report.has_errors()) {
+      std::fprintf(stderr, "%s: lint failed, not running\n", path.c_str());
+      return 1;
+    }
   }
 
   core::ApimConfig cfg;

@@ -12,8 +12,13 @@
 #include <cstring>
 #include <string>
 
+#include <fstream>
+#include <sstream>
+
+#include "analysis/isa_lint.hpp"
 #include "apps/app.hpp"
 #include "core/apim.hpp"
+#include "isa/assembler.hpp"
 #include "quality/qos.hpp"
 
 namespace {
@@ -30,13 +35,15 @@ struct Options {
   core::Backend backend = core::Backend::kFast;
   bool csv = false;
   bool list = false;
+  std::string lint_path;       ///< Non-empty: lint a kernel file and exit.
+  std::size_t lint_memsize = 0;
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--app NAME] [--elements N] [--seed S] [--relax M]\n"
       "          [--mask B] [--lanes L] [--backend fast|bit] [--csv]\n"
-      "          [--list] [--help]\n\n"
+      "          [--lint FILE.apim [--memsize N]] [--list] [--help]\n\n"
       "Runs an APIM application workload and reports quality and cost.\n"
       "  --app NAME      workload (see --list; default Sobel)\n"
       "  --elements N    input elements (default 4096)\n"
@@ -45,7 +52,10 @@ void usage(const char* argv0) {
       "  --mask B        first-stage mask bits, 0..32 (default 0)\n"
       "  --lanes L       parallel lanes (default: chip-derived 12288)\n"
       "  --backend X     'fast' word models or 'bit' cell-level engine\n"
-      "  --csv           emit a single CSV row instead of text\n",
+      "  --csv           emit a single CSV row instead of text\n"
+      "  --lint FILE     statically verify an .apim kernel file and exit\n"
+      "                  (exit 0 clean, 1 on any error diagnostic)\n"
+      "  --memsize N     data-memory words for --lint bounds checks\n",
       argv0);
 }
 
@@ -63,7 +73,32 @@ int fail_usage(const char* fmt, const char* detail) {
   return 2;
 }
 
+/// --lint mode: assemble + statically verify a kernel file, no execution.
+int run_lint(const Options& opt) {
+  std::ifstream in(opt.lint_path);
+  if (!in)
+    return fail_usage("cannot open kernel file '%s'", opt.lint_path.c_str());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  analysis::Report report;
+  try {
+    const isa::Program program = isa::assemble(buffer.str());
+    report = analysis::lint_program(
+        program, analysis::LintOptions{opt.lint_memsize});
+  } catch (const isa::AssemblyError& e) {
+    report.add({analysis::Severity::kError, "parse", e.line(), -1, e.what(),
+                "fix the syntax before lint rules can run"});
+  }
+  std::fputs(report.format().c_str(), stdout);
+  std::printf("%s: %zu error(s), %zu warning(s)\n", opt.lint_path.c_str(),
+              report.count(analysis::Severity::kError),
+              report.count(analysis::Severity::kWarning));
+  return report.has_errors() ? 1 : 0;
+}
+
 int run(const Options& opt) {
+  if (!opt.lint_path.empty()) return run_lint(opt);
   if (opt.list) {
     std::puts("paper applications:");
     for (const auto& app : apps::make_all_applications())
@@ -165,6 +200,13 @@ int main(int argc, char** argv) {
       if (!parse_u64(v, value) || value > 32)
         return fail_usage("--mask expects 0..32, got '%s'", v);
       opt.mask = static_cast<unsigned>(value);
+    } else if (arg == "--lint") {
+      opt.lint_path = need_value("--lint");
+    } else if (arg == "--memsize") {
+      const char* v = need_value("--memsize");
+      if (!parse_u64(v, value))
+        return fail_usage("--memsize expects a word count, got '%s'", v);
+      opt.lint_memsize = value;
     } else if (arg == "--lanes") {
       const char* v = need_value("--lanes");
       if (!parse_u64(v, value) || value == 0)
