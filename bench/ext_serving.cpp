@@ -12,14 +12,24 @@
 // request throughput by >= 4x at equal lane count, while at moderate load
 // the p99 latency (including the batching window) stays inside the SLO.
 //
+// A second section A/B-tests the simulation tier itself: the same
+// saturation trace through Backend::kFast (scalar word models) and
+// Backend::kBitsliced (64-lane bit-plane slices). Every simulated number
+// is bit-identical between the two — the section asserts that — so the
+// only difference is HOST wall-clock cost, reported as
+// bitsliced_vs_word_host_speedup (>= 5x required in full mode).
+//
 // Flags: --threads N, --json <path>, --smoke (tiny trace for CI).
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/server.hpp"
+#include "serve_harness.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -129,8 +139,80 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", text.render().c_str());
   if (csv.ok()) std::printf("Wrote ext_serving.csv\n");
 
+  // -- Backend A/B: host cost of the simulation tier ------------------------
+  //
+  // Same saturation trace, same server shape, kFast vs kBitsliced. The
+  // simulated outcome must be bit-identical (the equivalence gate's
+  // property, re-checked here end to end); the host wall-clock is not.
+  // Heavier requests than the sweep (16 ops each) so the arithmetic
+  // kernels dominate host time rather than the scheduler bookkeeping --
+  // that is the regime the bitsliced tier exists for -- and a mul/add mix
+  // so the A/B equality check covers both device batch entry points.
+  LoadGenConfig ab_gen;
+  ab_gen.requests = requests;
+  ab_gen.rate_per_kcycle = rates.back();
+  ab_gen.seed = 2017;
+  ab_gen.apps = apps;
+  ab_gen.min_ops = 16;
+  ab_gen.max_ops = 16;
+  ab_gen.width = 32;
+  ab_gen.add_fraction = 0.5;
+  const std::vector<Request> ab_trace =
+      apim::serve::make_open_loop_trace(ab_gen);
+  const int ab_repeats = smoke ? 1 : 3;
+
+  struct AbResult {
+    apim::serve_harness::Outcome outcome;
+    double best_seconds = 0.0;
+    double host_rps = 0.0;
+  };
+  const auto run_backend = [&](apim::core::Backend backend) {
+    AbResult r;
+    ServerConfig cfg = make_server_config(/*batched=*/true);
+    cfg.device.backend = backend;
+    for (int rep = 0; rep < ab_repeats; ++rep) {
+      Server server(cfg, table);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<Response> responses = server.run_trace(ab_trace);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      if (rep == 0 || secs < r.best_seconds) r.best_seconds = secs;
+      if (rep == 0) {
+        r.outcome.responses = std::move(responses);
+        r.outcome.snap = server.snapshot();
+      }
+    }
+    r.host_rps =
+        static_cast<double>(ab_trace.size()) / r.best_seconds;
+    return r;
+  };
+  const AbResult word_run = run_backend(apim::core::Backend::kFast);
+  const AbResult sliced_run = run_backend(apim::core::Backend::kBitsliced);
+  const double host_speedup =
+      word_run.host_rps > 0.0 ? sliced_run.host_rps / word_run.host_rps : 0.0;
+  const std::string backend_diff = apim::serve_harness::diff_outcomes(
+      word_run.outcome, sliced_run.outcome);
+
+  std::printf("Backend A/B at %.0f req/kcycle (%zu requests, best of %d):\n",
+              ab_gen.rate_per_kcycle, ab_trace.size(), ab_repeats);
+  std::printf("  kFast      %8.3f s  (%.3g req/s host)\n",
+              word_run.best_seconds, word_run.host_rps);
+  std::printf("  kBitsliced %8.3f s  (%.3g req/s host)\n",
+              sliced_run.best_seconds, sliced_run.host_rps);
+  std::printf("  host speedup %.2fx, outcomes %s\n\n", host_speedup,
+              backend_diff.empty() ? "bit-identical" : backend_diff.c_str());
+
   // -- Shape checks ---------------------------------------------------------
   apim::bench::ShapeChecker checker;
+
+  checker.check("bitsliced backend outcome bit-identical to word backend",
+                backend_diff.empty());
+  if (!smoke) {
+    // Wall-clock ratios are meaningless on a 300-request smoke trace (the
+    // run is over before the pool warms up), so the floor is full-mode only.
+    checker.check_range("bitsliced backend host throughput >= 5x word",
+                        host_speedup, 5.0, 1e9);
+  }
 
   double best_batched = 0.0, best_unbatched = 0.0;
   for (const SweepPoint& p : points) {
@@ -176,6 +258,18 @@ int main(int argc, char** argv) {
     report.set("threads", static_cast<std::uint64_t>(threads));
     report.set("slo_p99_cycles", kSloP99Cycles);
     report.set("batched_vs_unbatched_speedup", speedup);
+    report.set("bitsliced_vs_word_host_speedup", host_speedup);
+
+    apim::util::JsonValue backend_ab = apim::util::JsonValue::object();
+    backend_ab.set("rate_per_kcycle", ab_gen.rate_per_kcycle);
+    backend_ab.set("requests", static_cast<std::uint64_t>(ab_trace.size()));
+    backend_ab.set("repeats", static_cast<std::uint64_t>(ab_repeats));
+    backend_ab.set("word_host_seconds", word_run.best_seconds);
+    backend_ab.set("bitsliced_host_seconds", sliced_run.best_seconds);
+    backend_ab.set("word_host_rps", word_run.host_rps);
+    backend_ab.set("bitsliced_host_rps", sliced_run.host_rps);
+    backend_ab.set("outcomes_bit_identical", backend_diff.empty());
+    report.set("backend_ab", std::move(backend_ab));
 
     apim::util::JsonValue qos_table = apim::util::JsonValue::array();
     for (const auto& [app, entry] : table.entries()) {

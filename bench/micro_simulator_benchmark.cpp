@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arith/batch.hpp"
+#include "arith/bitsliced.hpp"
 #include "arith/fast_units.hpp"
 #include "arith/inmemory_units.hpp"
 #include "arith/word_models.hpp"
@@ -95,6 +96,49 @@ void BM_FastMultiplyBatch10k(benchmark::State& state) {
   util::set_thread_count(0);  // Restore the default for later benchmarks.
 }
 BENCHMARK(BM_FastMultiplyBatch10k)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The same 10k batch through the bitsliced (tier-3) backend: identical
+// products/cycles/energy, much lower host cost per modeled op. Comparing
+// items_per_second against BM_FastMultiplyBatch10k at the same Arg gives
+// the host-side speedup of bitslicing (the BENCH_*.json trajectory records
+// it as bitsliced_vs_word_host_speedup).
+void BM_BitslicedMultiplyBatch10k(benchmark::State& state) {
+  constexpr std::size_t kBatch = 10000;
+  util::Xoshiro256 rng(6);  // Same stream as the word-level twin.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  ops.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    ops.emplace_back(rng.next() & util::low_mask(32),
+                     rng.next() & util::low_mask(32));
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arith::fast_multiply_batch(
+        ops, 32, arith::ApproxConfig::exact(), em(), /*lanes=*/256,
+        arith::BatchBackend::kBitsliced));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  util::set_thread_count(0);
+}
+BENCHMARK(BM_BitslicedMultiplyBatch10k)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Standalone adds bitslice end to end (no per-lane tree stage), so the
+// per-op host cost collapses further.
+void BM_BitslicedAddSlice(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  for (std::size_t i = 0; i < arith::kBitsliceLanes; ++i)
+    ops.emplace_back(rng.next() & util::low_mask(32),
+                     rng.next() & util::low_mask(32));
+  std::vector<arith::AddOutcome> out(ops.size());
+  for (auto _ : state) {
+    arith::bitsliced_add_slice(ops, 32, 0, em(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops.size()));
+}
+BENCHMARK(BM_BitslicedAddSlice);
 
 void BM_DeviceMac(benchmark::State& state) {
   core::ApimDevice dev;

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Per-PR performance trajectory: runs the benchmark trio at its fixed
+# seeds (headline_summary, ext_serving, ext_fairness) and folds the three
+# JSON reports into one normalized snapshot, BENCH_<n>.json at the repo
+# root. Committing the snapshot per PR gives the repo a reviewable
+# throughput/latency/fairness trajectory over time.
+#
+# Usage: scripts/bench_pr.sh [--smoke] [out.json]
+#
+#   --smoke    CI mode: light bench workloads, output defaults to
+#              $BUILD_DIR/BENCH_smoke.json, and the generated document's
+#              key structure is checked against the committed full
+#              snapshot -- schema drift fails the run so BENCH_*.json
+#              stays machine-comparable across PRs.
+#
+# Environment: BUILD_DIR (default: build) must hold a built tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SNAPSHOT="BENCH_6.json"
+SMOKE=0
+OUT=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) OUT="$arg" ;;
+  esac
+done
+if [[ -z "$OUT" ]]; then
+  if [[ $SMOKE -eq 1 ]]; then OUT="$BUILD_DIR/BENCH_smoke.json"; else OUT="$SNAPSHOT"; fi
+fi
+
+for bin in headline_summary ext_serving ext_fairness; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "bench_pr.sh: missing $BUILD_DIR/bench/$bin (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+smoke_flag=()
+[[ $SMOKE -eq 1 ]] && smoke_flag=(--smoke)
+
+# Each bench enforces its own shape checks and exits nonzero on failure,
+# so a perf regression (e.g. bitsliced < 5x word in full mode) stops the
+# script before any snapshot is written.
+echo "== headline_summary"
+"$BUILD_DIR/bench/headline_summary" --json "$tmp/headline.json" > "$tmp/headline.log"
+echo "== ext_serving"
+"$BUILD_DIR/bench/ext_serving" "${smoke_flag[@]}" --json "$tmp/serving.json" > "$tmp/serving.log"
+echo "== ext_fairness"
+"$BUILD_DIR/bench/ext_fairness" "${smoke_flag[@]}" --json "$tmp/fairness.json" > "$tmp/fairness.log"
+
+python3 - "$tmp" "$OUT" "$SMOKE" "$SNAPSHOT" <<'PY'
+import json, sys
+
+tmp, out_path, smoke, snapshot_path = sys.argv[1], sys.argv[2], sys.argv[3] == "1", sys.argv[4]
+
+def load(name, required):
+    with open(f"{tmp}/{name}.json") as f:
+        doc = json.load(f)
+    missing = [k for k in required if k not in doc]
+    if missing:
+        sys.exit(f"bench_pr.sh: {name} report is missing keys {missing} (schema drift)")
+    return doc
+
+headline = load("headline", ["mean_exact_speedup", "mean_exact_energy_gain",
+                             "max_approx_speedup", "max_approx_edp_gain"])
+serving = load("serving", ["batched_vs_unbatched_speedup",
+                           "bitsliced_vs_word_host_speedup", "backend_ab",
+                           "sweep", "slo_p99_cycles"])
+fairness = load("fairness", ["runs", "light_p99_solo_cycles"])
+
+def sweep_row(mode, pick):
+    rows = [r for r in serving["sweep"] if r["mode"] == mode]
+    if not rows:
+        sys.exit(f"bench_pr.sh: serving sweep has no '{mode}' rows (schema drift)")
+    return pick(rows, key=lambda r: r["rate_per_kcycle"])
+
+light = sweep_row("batched", min)
+saturated = sweep_row("batched", max)
+unbatched_sat = sweep_row("unbatched", max)
+# The sweep issues fixed 8-op requests (bench/ext_serving.cpp), so the
+# light-load median latency divided by 8 is end-to-end cycles per op with
+# queueing effects near zero.
+OPS_PER_SWEEP_REQUEST = 8.0
+
+def jain(run):
+    rows = [r for r in fairness["runs"] if r["run"] == run]
+    if not rows:
+        sys.exit(f"bench_pr.sh: fairness report has no '{run}' run (schema drift)")
+    return rows[0]["jain_fairness"]
+
+ab = serving["backend_ab"]
+doc = {
+    "bench_id": "BENCH_6",
+    "schema_version": 1,
+    "smoke": smoke,
+    "backend": {
+        "tier": "kBitsliced",
+        "bitsliced_vs_word_host_speedup": serving["bitsliced_vs_word_host_speedup"],
+        "outcomes_bit_identical": ab["outcomes_bit_identical"],
+        "word_host_rps": ab["word_host_rps"],
+        "bitsliced_host_rps": ab["bitsliced_host_rps"],
+    },
+    "serving": {
+        "batched_saturation_throughput_rps": saturated["throughput_rps"],
+        "unbatched_saturation_throughput_rps": unbatched_sat["throughput_rps"],
+        "batched_vs_unbatched_speedup": serving["batched_vs_unbatched_speedup"],
+        "p99_latency_cycles_light_load": light["p99_latency_cycles"],
+        "p99_latency_cycles_saturation": saturated["p99_latency_cycles"],
+        "cycles_per_op_light_load": light["p50_latency_cycles"] / OPS_PER_SWEEP_REQUEST,
+        "slo_p99_cycles": serving["slo_p99_cycles"],
+    },
+    "fairness": {
+        "jain_mixed_fifo": jain("mixed-fifo"),
+        "jain_mixed_drr": jain("mixed-drr"),
+        "light_p99_solo_cycles": fairness["light_p99_solo_cycles"],
+    },
+    "headline": {
+        "mean_exact_speedup": headline["mean_exact_speedup"],
+        "mean_exact_energy_gain": headline["mean_exact_energy_gain"],
+        "max_approx_speedup": headline["max_approx_speedup"],
+        "max_approx_edp_gain": headline["max_approx_edp_gain"],
+    },
+}
+
+def signature(node, prefix=""):
+    # Recursive key structure; values are ignored so smoke and full
+    # snapshots compare equal iff their schemas match.
+    paths = set()
+    if isinstance(node, dict):
+        for k, v in node.items():
+            paths.add(f"{prefix}.{k}")
+            paths |= signature(v, f"{prefix}.{k}")
+    elif isinstance(node, list) and node:
+        paths |= signature(node[0], f"{prefix}[]")
+    return paths
+
+if smoke:
+    try:
+        with open(snapshot_path) as f:
+            committed = json.load(f)
+    except FileNotFoundError:
+        print(f"bench_pr.sh: no committed {snapshot_path}; skipping drift check")
+    else:
+        ours, theirs = signature(doc), signature(committed)
+        if ours != theirs:
+            added = sorted(ours - theirs)
+            removed = sorted(theirs - ours)
+            sys.exit("bench_pr.sh: BENCH schema drift vs committed "
+                     f"{snapshot_path}\n  added: {added}\n  removed: {removed}")
+        print(f"bench_pr.sh: schema matches committed {snapshot_path}")
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"Wrote {out_path}")
+PY

@@ -1,9 +1,13 @@
 #include "arith/batch.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
+#include "arith/bitsliced.hpp"
 #include "arith/fast_units.hpp"
+#include "arith/tree_plan.hpp"
+#include "arith/word_models.hpp"
 #include "util/thread_pool.hpp"
 
 namespace apim::arith {
@@ -12,13 +16,15 @@ namespace {
 /// Operand indices per host-pool chunk. Fixed (never derived from the
 /// thread count) so the serial merge below visits per-op results in the
 /// same order for every thread count — the accounting stays bit-exact.
+/// Equal to kBitsliceLanes so every chunk is exactly one bitsliced slice.
 constexpr std::size_t kMultiplyGrain = 64;
+static_assert(kMultiplyGrain == kBitsliceLanes);
 }  // namespace
 
 BatchOutcome fast_multiply_batch(
     std::span<const std::pair<std::uint64_t, std::uint64_t>> operands,
     unsigned n, ApproxConfig cfg, const device::EnergyModel& em,
-    std::size_t lanes) {
+    std::size_t lanes, BatchBackend backend) {
   assert(lanes >= 1);
   BatchOutcome out;
   // Degenerate batch: no operands means no lanes engaged and a zeroed
@@ -33,6 +39,12 @@ BatchOutcome fast_multiply_batch(
   util::ThreadPool::global().parallel_for(
       0, operands.size(), kMultiplyGrain,
       [&](std::size_t lo, std::size_t hi) {
+        if (backend == BatchBackend::kBitsliced) {
+          bitsliced_multiply_slice(
+              operands.subspan(lo, hi - lo), n, cfg, em,
+              std::span<MultiplyOutcome>(per_op).subspan(lo, hi - lo));
+          return;
+        }
         for (std::size_t i = lo; i < hi; ++i)
           per_op[i] = fast_multiply(operands[i].first, operands[i].second, n,
                                     cfg, em);
@@ -51,6 +63,90 @@ BatchOutcome fast_multiply_batch(
   }
   out.makespan =
       *std::max_element(lane_cycles.begin(), lane_cycles.end());
+  return out;
+}
+
+BatchOutcome fast_tree_add_batch(std::span<const std::uint64_t> ops,
+                                 std::span<const unsigned> widths,
+                                 unsigned width_cap,
+                                 const device::EnergyModel& em,
+                                 std::size_t lanes, BatchBackend backend) {
+  assert(lanes >= 1);
+  assert(!widths.empty());
+  BatchOutcome out;
+  if (ops.empty()) return out;
+  const std::size_t stride = widths.size();
+  assert(ops.size() % stride == 0);
+  const std::size_t count = ops.size() / stride;
+  out.lanes_used = std::min(lanes, count);
+
+  // The batch is homogeneous in shape, so the reduction plan (and with it
+  // the survivors' widths) is shared by every op.
+  TreePlan plan;
+  unsigned n_final = widths[0];
+  if (stride >= 3) {
+    plan = plan_tree_reduction(widths, width_cap, /*block_a=*/1,
+                               /*block_b=*/2);
+    n_final = std::max(plan.operands[plan.final_ids[0]].width,
+                       plan.operands[plan.final_ids[1]].width);
+  } else if (stride == 2) {
+    n_final = std::max(widths[0], widths[1]);
+  }
+
+  std::vector<AddOutcome> per_op(count);
+  util::ThreadPool::global().parallel_for(
+      0, count, kMultiplyGrain, [&](std::size_t lo, std::size_t hi) {
+        if (backend != BatchBackend::kBitsliced || stride == 1) {
+          for (std::size_t i = lo; i < hi; ++i)
+            per_op[i] = fast_tree_add(ops.subspan(i * stride, stride), widths,
+                                      width_cap, em);
+          return;
+        }
+        // Bitsliced: amortize the plan, slice the final serial add.
+        std::array<std::pair<std::uint64_t, std::uint64_t>, kBitsliceLanes>
+            xy;
+        std::array<double, kBitsliceLanes> tree_energy{};
+        std::array<util::Cycles, kBitsliceLanes> tree_cycles{};
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t k = i - lo;
+          const auto values = ops.subspan(i * stride, stride);
+          if (stride == 2) {
+            xy[k] = {values[0], values[1]};
+            tree_energy[k] = 0.0;
+            tree_cycles[k] = 0;
+          } else {
+            const TreeReduceResult tree = word_tree_reduce(values, plan, em);
+            xy[k] = {tree.x, tree.y};
+            tree_energy[k] = tree.energy_ops_pj;
+            tree_cycles[k] = tree.cycles;
+          }
+        }
+        std::array<AddOutcome, kBitsliceLanes> fin;
+        bitsliced_add_slice(std::span(xy.data(), hi - lo), n_final,
+                            /*relax_m=*/0, em, std::span(fin.data(), hi - lo));
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t k = i - lo;
+          AddOutcome& r = per_op[i];
+          r.sum = fin[k].sum;
+          r.cycles = tree_cycles[k] + fin[k].cycles;
+          double e = 0.0;
+          e += tree_energy[k];
+          e += fin[k].energy_ops_pj;
+          r.energy_ops_pj = e;
+          r.carry_out = fin[k].carry_out;
+        }
+      });
+
+  out.products.reserve(count);
+  std::vector<util::Cycles> lane_cycles(out.lanes_used, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const AddOutcome& r = per_op[i];
+    out.products.push_back(r.sum);
+    lane_cycles[i % out.lanes_used] += r.cycles;
+    out.total_lane_cycles += r.cycles;
+    out.energy_ops_pj += r.energy_ops_pj;
+  }
+  out.makespan = *std::max_element(lane_cycles.begin(), lane_cycles.end());
   return out;
 }
 

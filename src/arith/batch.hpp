@@ -20,6 +20,15 @@
 
 namespace apim::arith {
 
+/// Host execution strategy for a homogeneous batch.
+enum class BatchBackend {
+  /// Word-level fast models, one op at a time (the validated default).
+  kWord,
+  /// Bitsliced 64-lane slices (arith/bitsliced.hpp): bit-identical per-op
+  /// values, cycles and energy, at a fraction of the host cost.
+  kBitsliced,
+};
+
 struct BatchOutcome {
   std::vector<std::uint64_t> products;  ///< One per input pair, in order.
   util::Cycles makespan = 0;        ///< Wall latency: the slowest lane.
@@ -42,13 +51,27 @@ struct BatchOutcome {
 };
 
 /// Execute `operands` (a, b) pairs of n-bit multiplies across `lanes`
-/// pipelines, round robin in order. Uses the validated fast models per op.
-/// Host execution spreads over the global thread pool (util/thread_pool.hpp);
-/// products, cycles and energy are bit-identical for every thread count.
+/// pipelines, round robin in order. Uses the validated fast models per op
+/// (or 64-lane bitsliced slices under BatchBackend::kBitsliced — same
+/// outcome bit for bit). Host execution spreads over the global thread
+/// pool (util/thread_pool.hpp); products, cycles and energy are
+/// bit-identical for every thread count AND every backend.
 /// An empty batch returns a zeroed outcome.
 [[nodiscard]] BatchOutcome fast_multiply_batch(
     std::span<const std::pair<std::uint64_t, std::uint64_t>> operands,
     unsigned n, ApproxConfig cfg, const device::EnergyModel& em,
-    std::size_t lanes);
+    std::size_t lanes, BatchBackend backend = BatchBackend::kWord);
+
+/// Batched homogeneous multi-operand addition: `count` independent ops,
+/// each adding `widths.size()` operands; `ops` is the row-major flat array
+/// of count x widths.size() values. All ops share the widths and cap, so
+/// the reduction plan is computed ONCE (the word path re-plans per op);
+/// under kBitsliced the final serial add additionally runs in 64-lane
+/// slices. `products[i]` holds op i's sum; outcomes per op are
+/// bit-identical to fast_tree_add across backends and thread counts.
+[[nodiscard]] BatchOutcome fast_tree_add_batch(
+    std::span<const std::uint64_t> ops, std::span<const unsigned> widths,
+    unsigned width_cap, const device::EnergyModel& em, std::size_t lanes,
+    BatchBackend backend = BatchBackend::kWord);
 
 }  // namespace apim::arith

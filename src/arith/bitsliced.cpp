@@ -1,0 +1,447 @@
+#include "arith/bitsliced.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+
+#include "arith/latency_model.hpp"
+#include "arith/word_models.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+using util::low_mask;
+using util::popcount;
+
+void transpose64(const std::uint64_t in[64], std::uint64_t out[64]) noexcept {
+  for (unsigned i = 0; i < 64; ++i) out[i] = in[i];
+  std::uint64_t m = 0x00000000FFFFFFFFull;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = ((out[k] >> j) ^ out[k | j]) & m;
+      out[k] ^= t << j;
+      out[k | j] ^= t;
+    }
+  }
+}
+
+namespace {
+
+/// Per-triple energy tables. Each entry memoizes the energy the scalar
+/// model adds for one bit of that unit, computed by the scalar model's own
+/// code on that triple — so the per-bit addend is the identical double.
+struct SliceTables {
+  double fa[8];     ///< word_fa_bit NOR energy for triple (a | b<<1 | c<<2).
+  double fin[8];    ///< Exact final-add bit: 12*e_init + fa[t].
+  double relax[2];  ///< Relaxed bit by carry-out: e_maj + write energy.
+};
+
+SliceTables make_slice_tables(const device::EnergyModel& em) {
+  SliceTables tab;
+  for (unsigned t = 0; t < 8; ++t) {
+    const FaBitResult r =
+        word_fa_bit(t & 1u, (t >> 1) & 1u, (t >> 2) & 1u, em);
+    tab.fa[t] = r.nor_energy_pj;
+    tab.fin[t] = 12.0 * em.e_init_pj + r.nor_energy_pj;
+  }
+  tab.relax[0] = em.e_maj_pj + em.write_energy_pj(false);
+  tab.relax[1] = em.e_maj_pj + em.write_energy_pj(true);
+  return tab;
+}
+
+inline std::uint64_t maj_plane(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) noexcept {
+  return (a & b) | (c & (a ^ b));
+}
+
+/// Bitsliced twin of word_serial_add over one slice. `ap`/`bp` are n bit
+/// planes; value/energy slots of ALL `count` lanes are (re)initialized and
+/// written — lanes the caller considers inactive just compute unused
+/// numbers, which keeps the hot loops branchless. Cycles (12n+1, shared)
+/// are left to the caller.
+void slice_serial_add(const std::uint64_t* ap, const std::uint64_t* bp,
+                      unsigned n, std::size_t count, const SliceTables& tab,
+                      const device::EnergyModel& em, std::uint64_t value[],
+                      double energy[], std::uint64_t* carry_mask) {
+  for (std::size_t l = 0; l < count; ++l) {
+    value[l] = 0;
+    energy[l] = 12.0 * static_cast<double>(n) * em.e_init_pj;
+  }
+  std::uint64_t c = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t a = ap[i];
+    const std::uint64_t b = bp[i];
+    const std::uint64_t s = a ^ b ^ c;
+    const std::uint64_t cn = maj_plane(a, b, c);
+    for (std::size_t l = 0; l < count; ++l) {
+      const unsigned idx = static_cast<unsigned>(
+          ((a >> l) & 1u) | (((b >> l) & 1u) << 1) | (((c >> l) & 1u) << 2));
+      energy[l] += tab.fa[idx];
+      value[l] |= ((s >> l) & 1u) << i;
+    }
+    c = cn;
+  }
+  if (n < 64) {
+    for (std::size_t l = 0; l < count; ++l)
+      value[l] |= ((c >> l) & 1u) << n;
+  }
+  *carry_mask = c;
+}
+
+/// Bitsliced twin of word_final_add (relaxed low bits, exact high bits,
+/// trailing invert) over one slice; like slice_serial_add it writes ALL
+/// `count` lanes branchlessly. `m` must already be clamped to `width`.
+/// Cycles (13(width-m) + 2m + [m>0], shared) left to the caller.
+void slice_final_add(const std::uint64_t* ap, const std::uint64_t* bp,
+                     unsigned width, unsigned m, std::size_t count,
+                     const SliceTables& tab, const device::EnergyModel& em,
+                     std::uint64_t value[], double energy[],
+                     std::uint64_t* carry_mask) {
+  for (std::size_t l = 0; l < count; ++l) {
+    value[l] = 0;
+    energy[l] = 0.0;
+  }
+  int rc_pop[kBitsliceLanes] = {};
+  std::uint64_t c = 0;
+  for (unsigned i = 0; i < m; ++i) {
+    const std::uint64_t cn = maj_plane(ap[i], bp[i], c);
+    for (std::size_t l = 0; l < count; ++l) {
+      const unsigned cb = static_cast<unsigned>((cn >> l) & 1u);
+      energy[l] += tab.relax[cb];
+      rc_pop[l] += static_cast<int>(cb);
+      value[l] |= static_cast<std::uint64_t>(cb ^ 1u) << i;
+    }
+    c = cn;
+  }
+  for (unsigned i = m; i < width; ++i) {
+    const std::uint64_t a = ap[i];
+    const std::uint64_t b = bp[i];
+    const std::uint64_t s = a ^ b ^ c;
+    const std::uint64_t cn = maj_plane(a, b, c);
+    for (std::size_t l = 0; l < count; ++l) {
+      const unsigned idx = static_cast<unsigned>(
+          ((a >> l) & 1u) | (((b >> l) & 1u) << 1) | (((c >> l) & 1u) << 2));
+      energy[l] += tab.fin[idx];
+      value[l] |= ((s >> l) & 1u) << i;
+    }
+    c = cn;
+  }
+  if (m > 0) {
+    for (std::size_t l = 0; l < count; ++l) {
+      energy[l] += static_cast<double>(m) * em.e_init_pj;
+      energy[l] += static_cast<double>(m) * em.e_interconnect_bit_pj;
+      const int ones = rc_pop[l];
+      const int zeros = static_cast<int>(m) - ones;
+      energy[l] += static_cast<double>(ones) * em.e_input_on_pj +
+                   static_cast<double>(zeros) * em.e_input_off_pj +
+                   static_cast<double>(ones) * em.e_switch_pj;
+    }
+  }
+  if (width < 64) {
+    for (std::size_t l = 0; l < count; ++l)
+      value[l] |= ((c >> l) & 1u) << width;
+  }
+  *carry_mask = c;
+}
+
+/// Unrolled twin of word_fa_stage: the 12-step schedule with the slot
+/// array and schedule-table indirection flattened into straight-line
+/// bitwise code. The per-step energy statement is replicated verbatim (one
+/// += of ones*on + offs*off + switches*switch, steps in schedule order),
+/// so the accumulated double is identical; popcounts are exact integers,
+/// so reusing them across steps cannot change it. ~4x faster than the
+/// interpreted loop — this is the hot instruction of the fused tree stage.
+FaWordResult fast_fa_stage(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                           unsigned width, const device::EnergyModel& em) {
+  const std::uint64_t mask = low_mask(width);
+  a &= mask;
+  b &= mask;
+  c &= mask;
+  const int w = static_cast<int>(width);
+  FaWordResult out;
+  const auto charge = [&](int ones, int arity, int result_pop) {
+    const int total_inputs = arity * w;
+    const int switches = w - result_pop;
+    out.nor_energy_pj +=
+        static_cast<double>(ones) * em.e_input_on_pj +
+        static_cast<double>(total_inputs - ones) * em.e_input_off_pj +
+        static_cast<double>(switches) * em.e_switch_pj;
+  };
+  const int pa = popcount(a), pb = popcount(b), pc = popcount(c);
+
+  const std::uint64_t t1 = ~(a | b) & mask;  // (A+B)'
+  const int p1 = popcount(t1);
+  charge(pa + pb, 2, p1);
+  const std::uint64_t t2 = ~(b | c) & mask;  // (B+C)'
+  const int p2 = popcount(t2);
+  charge(pb + pc, 2, p2);
+  const std::uint64_t t3 = ~(a | c) & mask;  // (A+C)'
+  const int p3 = popcount(t3);
+  charge(pa + pc, 2, p3);
+  const std::uint64_t cout = ~(t1 | t2 | t3) & mask;  // MAJ(A,B,C)
+  const int pcout = popcount(cout);
+  charge(p1 + p2 + p3, 3, pcout);
+  const std::uint64_t na = ~a & mask;
+  charge(pa, 1, w - pa);
+  const std::uint64_t nb = ~b & mask;
+  charge(pb, 1, w - pb);
+  const std::uint64_t nc = ~c & mask;
+  charge(pc, 1, w - pc);
+  const std::uint64_t t4 = ~(na | nb | nc) & mask;  // A&B&C
+  const int p4 = popcount(t4);
+  charge((w - pa) + (w - pb) + (w - pc), 3, p4);
+  const std::uint64_t t5 = ~(a | b | c) & mask;  // (A+B+C)'
+  const int p5 = popcount(t5);
+  charge(pa + pb + pc, 3, p5);
+  const std::uint64_t t6 = ~(t5 | cout) & mask;
+  const int p6 = popcount(t6);
+  charge(p5 + pcout, 2, p6);
+  const std::uint64_t t7 = ~(t4 | t6) & mask;
+  const int p7 = popcount(t7);
+  charge(p4 + p6, 2, p7);
+  const std::uint64_t s = ~t7 & mask;  // Sum.
+  charge(p7, 1, w - p7);
+
+  out.sum = s;
+  out.carry = cout << 1;  // Interconnect alignment into bit i+1.
+  return out;
+}
+
+/// Fused, allocation-free per-lane twin of plan_tree_reduction +
+/// word_tree_reduce for one multiplier's partial products (the set bits of
+/// `em2`, ascending). Replicates the plan's grouping, width growth, and
+/// block toggling, and the reduce's per-group energy statements, so the
+/// energy double matches word_tree_reduce on the equivalent plan exactly.
+struct TreeEval {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  unsigned stages = 0;
+  util::Cycles cycles = 0;
+  double energy = 0.0;
+};
+
+TreeEval fused_tree(std::uint64_t m1, std::uint64_t em2, unsigned n,
+                    unsigned width_cap, const device::EnergyModel& em) {
+  // p <= 32 initial operands; each 3:2 group retires one live id and mints
+  // two, so ids never exceed 3p - 4 (< 96) and live never exceeds 32.
+  std::uint64_t val[96];
+  unsigned wid[96];
+  unsigned char blk[96];
+  std::size_t live[32];
+  std::size_t live_n = 0;
+  std::size_t ids = 0;
+  for (unsigned j = 0; j < n; ++j) {
+    if (((em2 >> j) & 1u) == 0) continue;
+    val[ids] = m1 << j;
+    wid[ids] = n + j;
+    blk[ids] = 1;  // block_a: initial operands.
+    live[live_n++] = ids++;
+  }
+  assert(live_n >= 3);
+
+  TreeEval out;
+  bool target_is_b = true;
+  while (live_n > 2) {
+    out.cycles += 13;
+    const unsigned char target = target_is_b ? 2 : 1;
+    std::size_t next[32];
+    std::size_t next_n = 0;
+    std::size_t i = 0;
+    for (; i + 3 <= live_n; i += 3) {
+      const std::size_t i0 = live[i], i1 = live[i + 1], i2 = live[i + 2];
+      const unsigned max_w = std::max({wid[i0], wid[i1], wid[i2]});
+      const unsigned w = std::min(max_w + 1, width_cap);
+      out.energy += 12.0 * static_cast<double>(w) * em.e_init_pj;
+      const auto hops = [&](std::size_t id) {
+        return static_cast<double>(
+            std::abs(static_cast<long long>(blk[id]) -
+                     static_cast<long long>(target)));
+      };
+      out.energy += 4.0 * static_cast<double>(w) *
+                    (hops(i0) + hops(i1) + hops(i2)) *
+                    em.e_interconnect_bit_pj;
+      out.energy += static_cast<double>(w) * em.e_interconnect_bit_pj;
+      const FaWordResult fa = fast_fa_stage(val[i0], val[i1], val[i2], w, em);
+      out.energy += fa.nor_energy_pj;
+      val[ids] = fa.sum;
+      wid[ids] = w;
+      blk[ids] = target;
+      next[next_n++] = ids++;
+      val[ids] = fa.carry;
+      wid[ids] = w;
+      blk[ids] = target;
+      next[next_n++] = ids++;
+    }
+    for (; i < live_n; ++i) next[next_n++] = live[i];
+    std::copy(next, next + next_n, live);
+    live_n = next_n;
+    ++out.stages;
+    target_is_b = !target_is_b;
+  }
+  out.x = val[live[0]];
+  out.y = val[live[1]];
+  return out;
+}
+
+}  // namespace
+
+void bitsliced_add_slice(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops, unsigned n,
+    unsigned relax_m, const device::EnergyModel& em,
+    std::span<AddOutcome> out) {
+  assert(n >= 1 && n <= 64);
+  assert(ops.size() <= kBitsliceLanes && out.size() == ops.size());
+  if (ops.empty()) return;
+  const std::size_t count = ops.size();
+
+  std::uint64_t x[64] = {};
+  std::uint64_t y[64] = {};
+  for (std::size_t l = 0; l < count; ++l) {
+    x[l] = ops[l].first & low_mask(n);
+    y[l] = ops[l].second & low_mask(n);
+  }
+  std::uint64_t xp[64];
+  std::uint64_t yp[64];
+  transpose64(x, xp);
+  transpose64(y, yp);
+
+  const SliceTables tab = make_slice_tables(em);
+  const unsigned relax = profitable_add_relax(n, relax_m);
+  std::uint64_t value[64];
+  double energy[64];
+  std::uint64_t carry = 0;
+  util::Cycles cycles;
+  if (relax == 0) {
+    slice_serial_add(xp, yp, n, count, tab, em, value, energy, &carry);
+    cycles = serial_add_cycles(n);
+  } else {
+    const unsigned m = relax > n ? n : relax;
+    slice_final_add(xp, yp, n, m, count, tab, em, value, energy, &carry);
+    cycles = final_add_cycles(n, m);
+  }
+  for (std::size_t l = 0; l < count; ++l) {
+    out[l].sum = value[l];
+    out[l].cycles = cycles;
+    out[l].energy_ops_pj = energy[l];
+    out[l].carry_out = ((carry >> l) & 1u) != 0;
+    assert(out[l].sum ==
+           approximate_add_value(x[l], y[l], n, relax == 0 ? 0 : relax));
+  }
+}
+
+void bitsliced_multiply_slice(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops, unsigned n,
+    ApproxConfig cfg, const device::EnergyModel& em,
+    std::span<MultiplyOutcome> out) {
+  assert(n >= 1 && n <= 32);
+  assert(ops.size() <= kBitsliceLanes && out.size() == ops.size());
+  if (ops.empty()) return;
+  const std::size_t count = ops.size();
+  const unsigned product_width = 2 * n;
+  const unsigned relax = cfg.effective_relax(product_width);
+  const unsigned first_bit = std::min(cfg.mask_bits, n);
+  const SliceTables tab = make_slice_tables(em);
+
+  // Per-lane front end: PPG cost (closed form, same statement order as
+  // word_ppg) and the tree stage where the lane has three or more partials.
+  std::uint64_t x[64] = {};
+  std::uint64_t y[64] = {};
+  double e_ppg[64];
+  double e_tree[64] = {};
+  util::Cycles cyc_front[64];
+  unsigned pcount[64];
+  unsigned stages[64] = {};
+  std::uint64_t direct[64] = {};  // Product for lanes with p <= 1.
+  std::uint64_t active = 0;       // Lanes that run the final add (p >= 2).
+
+  for (std::size_t l = 0; l < count; ++l) {
+    const std::uint64_t a = ops[l].first & low_mask(n);
+    const std::uint64_t b = ops[l].second & low_mask(n);
+    const std::uint64_t em2 = b & ~low_mask(first_bit);
+    const int p = popcount(em2);
+    pcount[l] = static_cast<unsigned>(p);
+
+    double e = 0.0;
+    e += static_cast<double>(n - first_bit) * em.e_read_pj;
+    if (p == 0) {
+      e_ppg[l] = e;
+      cyc_front[l] = 0;
+      continue;
+    }
+    const int m1_ones = popcount(a);
+    const int m1_zeros = static_cast<int>(n) - m1_ones;
+    e += static_cast<double>(n) * em.e_init_pj;
+    e += static_cast<double>(m1_ones) * em.e_input_on_pj +
+         static_cast<double>(m1_zeros) * em.e_input_off_pj +
+         static_cast<double>(m1_ones) * em.e_switch_pj;
+    for (int q = 0; q < p; ++q) {
+      e += static_cast<double>(n) * em.e_init_pj;
+      e += static_cast<double>(m1_zeros) * em.e_input_on_pj +
+           static_cast<double>(m1_ones) * em.e_input_off_pj +
+           static_cast<double>(m1_zeros) * em.e_switch_pj;
+      e += static_cast<double>(n) * em.e_interconnect_bit_pj;
+    }
+    e_ppg[l] = e;
+    cyc_front[l] = ppg_cycles(static_cast<unsigned>(p));
+
+    if (p == 1) {
+      direct[l] = a << std::countr_zero(em2);
+      continue;
+    }
+    if (p == 2) {
+      const unsigned j0 = static_cast<unsigned>(std::countr_zero(em2));
+      const unsigned j1 = static_cast<unsigned>(
+          std::countr_zero(em2 & (em2 - 1)));
+      x[l] = a << j0;
+      y[l] = a << j1;
+    } else {
+      const TreeEval tree = fused_tree(a, em2, n, product_width, em);
+      e_tree[l] = tree.energy;
+      stages[l] = tree.stages;
+      cyc_front[l] += tree.cycles;
+      x[l] = tree.x;
+      y[l] = tree.y;
+    }
+    active |= std::uint64_t{1} << l;
+  }
+
+  // Shared back end: the final product generation is one homogeneous
+  // (width, relax) add across every active lane — fully bitsliced.
+  std::uint64_t fin_value[64];
+  double fin_energy[64];
+  util::Cycles fin_cycles = 0;
+  if (active != 0) {
+    std::uint64_t xp[64];
+    std::uint64_t yp[64];
+    transpose64(x, xp);
+    transpose64(y, yp);
+    const unsigned m = relax > product_width ? product_width : relax;
+    std::uint64_t carry = 0;
+    slice_final_add(xp, yp, product_width, m, count, tab, em, fin_value,
+                    fin_energy, &carry);
+    fin_cycles = final_add_cycles(product_width, m);
+  }
+
+  for (std::size_t l = 0; l < count; ++l) {
+    MultiplyOutcome& r = out[l];
+    r.partial_count = pcount[l];
+    r.tree_stages = stages[l];
+    r.cycles = cyc_front[l];
+    double e = 0.0;
+    e += e_ppg[l];
+    if (pcount[l] <= 1) {
+      r.product = direct[l];
+      r.energy_ops_pj = e;
+      continue;
+    }
+    if (pcount[l] >= 3) e += e_tree[l];
+    e += fin_energy[l];
+    r.energy_ops_pj = e;
+    r.cycles += fin_cycles;
+    r.product = fin_value[l] & low_mask(product_width);
+    assert((active >> l) & 1u);
+  }
+}
+
+}  // namespace apim::arith

@@ -95,12 +95,13 @@ AddOutcome fast_tree_add(std::span<const std::uint64_t> values,
   out.sum = fin.value;
   out.cycles += fin.cycles;
   out.energy_ops_pj += fin.energy_ops_pj;
+  out.carry_out = fin.carry_out;
   return out;
 }
 
 AddOutcome fast_add(std::uint64_t a, std::uint64_t b, unsigned n,
                     unsigned relax_m, const device::EnergyModel& em) {
-  assert(n >= 1 && n <= 63);
+  assert(n >= 1 && n <= 64);
   a &= util::low_mask(n);
   b &= util::low_mask(n);
   AddOutcome out;
@@ -111,11 +112,13 @@ AddOutcome fast_add(std::uint64_t a, std::uint64_t b, unsigned n,
     out.sum = r.value;
     out.cycles = r.cycles;
     out.energy_ops_pj = r.energy_ops_pj;
+    out.carry_out = r.carry_out;
   } else {
     const WordUnitResult r = word_final_add(a, b, n, relax_m, em);
     out.sum = r.value;
     out.cycles = r.cycles;
     out.energy_ops_pj = r.energy_ops_pj;
+    out.carry_out = r.carry_out;
   }
   return out;
 }

@@ -29,14 +29,18 @@ struct MultiplyOutcome {
                                             unsigned n, ApproxConfig cfg,
                                             const device::EnergyModel& em);
 
-/// Result of a standalone n-bit addition.
+/// Result of a standalone n-bit addition. For n < 64 `sum` is the
+/// (n+1)-bit result including the carry out at bit n; at n = 64 the carry
+/// cannot live in-band and is reported only via `carry_out` (which is set
+/// for every width, never silently dropped).
 struct AddOutcome {
-  std::uint64_t sum = 0;  ///< (n+1)-bit result including carry out.
+  std::uint64_t sum = 0;  ///< Result; carry in-band at bit n when n < 64.
   util::Cycles cycles = 0;
   double energy_ops_pj = 0.0;
+  bool carry_out = false;  ///< Carry out of bit n-1 (out-of-band copy).
 };
 
-/// Add two n-bit magnitudes. Exact mode uses the serial MAGIC adder
+/// Add two n-bit magnitudes (n <= 64). Exact mode uses the serial MAGIC adder
 /// (12n + 1 cycles); with relax_m > 0 the SA-majority relaxed adder is used
 /// (13(n-m) + 2m + 1 cycles), the same technique the multiplier's final
 /// stage applies (Section 3.4 — the approach works for any addition, and

@@ -28,9 +28,10 @@ class StatsDelta {
         cycles0_(engine.stats().cycles),
         energy0_(engine.stats().energy_ops_pj) {}
 
-  [[nodiscard]] InMemoryResult finish(std::uint64_t value) const {
+  [[nodiscard]] InMemoryResult finish(std::uint64_t value,
+                                      bool carry_out = false) const {
     return InMemoryResult{value, engine_.stats().cycles - cycles0_,
-                          engine_.stats().energy_ops_pj - energy0_};
+                          engine_.stats().energy_ops_pj - energy0_, carry_out};
   }
 
  private:
@@ -39,13 +40,21 @@ class StatsDelta {
   double energy0_;
 };
 
+/// Value + carry-out pair produced by the raw add helpers; the carry is
+/// kept out-of-band so width 64 never drops it.
+struct RawAddResult {
+  std::uint64_t value = 0;
+  bool carry_out = false;
+};
+
 /// Serial ripple addition over rows already resident in `block`.
 /// Scratch occupies rows [scratch_base, scratch_base+12): 12 slot rows; the
 /// initial carry reads a never-written cell at (scratch_base+12, 0), which
-/// models the grounded '0' reference line. Returns the (n+1)-bit sum.
-std::uint64_t run_serial_add(MagicEngine& engine, std::size_t block,
-                             std::size_t a_row, std::size_t b_row, unsigned n,
-                             std::size_t scratch_base) {
+/// models the grounded '0' reference line. Returns the n-bit sum (carry
+/// folded in at bit n when n < 64) plus the out-of-band carry.
+RawAddResult run_serial_add(MagicEngine& engine, std::size_t block,
+                            std::size_t a_row, std::size_t b_row, unsigned n,
+                            std::size_t scratch_base) {
   auto& xbar = engine.crossbar();
   const CellAddr zero_ref{block, scratch_base + 12, 0};
   assert(!xbar.get(zero_ref));  // Must be a pristine '0' reference cell.
@@ -71,8 +80,9 @@ std::uint64_t run_serial_add(MagicEngine& engine, std::size_t block,
   std::uint64_t sum = 0;
   for (unsigned i = 0; i < n; ++i)
     if (xbar.get(lanes[i].cell(kSlotS))) sum |= std::uint64_t{1} << i;
-  if (xbar.get(lanes[n - 1].cell(kSlotCout))) sum |= std::uint64_t{1} << n;
-  return sum;
+  const bool carry_out = xbar.get(lanes[n - 1].cell(kSlotCout));
+  if (carry_out && n < 64) sum |= std::uint64_t{1} << n;
+  return RawAddResult{sum, carry_out};
 }
 
 /// Final-product-generation addition over rows already resident in `block`:
@@ -81,11 +91,12 @@ std::uint64_t run_serial_add(MagicEngine& engine, std::size_t block,
 ///   carry row  = scratch_base      (c_i at column i; c_0 must read '0')
 ///   sum row    = scratch_base + 1  (relaxed sum bits)
 ///   FA scratch = scratch_base + 2 .. scratch_base + 13
-/// Returns the (width+1)-bit result including the carry out.
-std::uint64_t run_final_add(MagicEngine& engine, std::size_t block,
-                            std::size_t x_row, std::size_t y_row,
-                            unsigned width, unsigned relax_m,
-                            std::size_t scratch_base) {
+/// Returns the width-bit result (carry folded in at bit `width` when
+/// width < 64) plus the out-of-band carry.
+RawAddResult run_final_add(MagicEngine& engine, std::size_t block,
+                           std::size_t x_row, std::size_t y_row,
+                           unsigned width, unsigned relax_m,
+                           std::size_t scratch_base) {
   auto& xbar = engine.crossbar();
   const unsigned m = std::min(relax_m, width);
   const std::size_t carry_row = scratch_base;
@@ -145,7 +156,7 @@ std::uint64_t run_final_add(MagicEngine& engine, std::size_t block,
       (width > m) ? xbar.get(exact_lanes.back().cell(kSlotCout))
                   : xbar.get(CellAddr{block, carry_row, width});
   if (carry_out && width < 64) value |= std::uint64_t{1} << width;
-  return value;
+  return RawAddResult{value, carry_out};
 }
 
 /// Execute all planned 3:2 stages. Initial operand rows must already hold
@@ -189,7 +200,7 @@ void load_word(BlockedCrossbar& xbar, const CellAddr& start, unsigned width,
 InMemoryResult inmemory_serial_add(std::uint64_t a, std::uint64_t b,
                                    unsigned n, const device::EnergyModel& em,
                                    magic::Tracer* tracer) {
-  assert(n >= 1 && n <= 63 && n + 1 <= 64);
+  assert(n >= 1 && n <= 64);
   BlockedCrossbar xbar{CrossbarConfig{2, 16, std::max<std::size_t>(n + 1, 8)}};
   MagicEngine engine{xbar, em};
   engine.attach_tracer(tracer);
@@ -197,10 +208,10 @@ InMemoryResult inmemory_serial_add(std::uint64_t a, std::uint64_t b,
   load_word(xbar, CellAddr{1, 1, 0}, n, b & low_mask(n));
 
   const StatsDelta delta{engine};
-  const std::uint64_t sum =
+  const RawAddResult sum =
       run_serial_add(engine, /*block=*/1, /*a_row=*/0, /*b_row=*/1, n,
                      /*scratch_base=*/2);
-  return delta.finish(sum);
+  return delta.finish(sum.value, sum.carry_out);
 }
 
 CsaOutcome inmemory_csa(std::uint64_t a, std::uint64_t b, std::uint64_t c,
@@ -281,16 +292,16 @@ InMemoryResult inmemory_tree_add(std::span<const std::uint64_t> values,
   const unsigned n_final = std::max(xo.width, yo.width);
   const std::size_t scratch_base =
       (xo.block == 1 ? plan.rows_used_block_a : plan.rows_used_block_b);
-  const std::uint64_t sum = run_serial_add(engine, xo.block, xo.row, yo.row,
-                                           n_final, scratch_base);
-  return delta.finish(sum);
+  const RawAddResult sum = run_serial_add(engine, xo.block, xo.row, yo.row,
+                                          n_final, scratch_base);
+  return delta.finish(sum.value, sum.carry_out);
 }
 
 InMemoryResult inmemory_relaxed_add(std::uint64_t a, std::uint64_t b,
                                     unsigned n, unsigned relax_m,
                                     const device::EnergyModel& em,
                                     magic::Tracer* tracer) {
-  assert(n >= 1 && n <= 63);
+  assert(n >= 1 && n <= 64);
   BlockedCrossbar xbar{CrossbarConfig{2, 20, std::max<std::size_t>(n + 2, 8)}};
   MagicEngine engine{xbar, em};
   engine.attach_tracer(tracer);
@@ -298,10 +309,10 @@ InMemoryResult inmemory_relaxed_add(std::uint64_t a, std::uint64_t b,
   load_word(xbar, CellAddr{1, 1, 0}, n, b & low_mask(n));
 
   const StatsDelta delta{engine};
-  const std::uint64_t sum = run_final_add(engine, /*block=*/1, /*x_row=*/0,
-                                          /*y_row=*/1, n, relax_m,
-                                          /*scratch_base=*/2);
-  return delta.finish(sum);
+  const RawAddResult sum = run_final_add(engine, /*block=*/1, /*x_row=*/0,
+                                         /*y_row=*/1, n, relax_m,
+                                         /*scratch_base=*/2);
+  return delta.finish(sum.value, sum.carry_out);
 }
 
 InMemoryResult inmemory_multiply(std::uint64_t a, std::uint64_t b, unsigned n,
@@ -417,10 +428,13 @@ InMemoryResult inmemory_multiply(std::uint64_t a, std::uint64_t b, unsigned n,
   (void)y_width;
 
   // -- Stage 3: final product generation over the full 2N bits. --
-  const std::uint64_t value = run_final_add(engine, final_block, x_row, y_row,
-                                            product_width, relax,
-                                            scratch_base);
-  return delta.finish(value & low_mask(product_width));
+  const RawAddResult value = run_final_add(engine, final_block, x_row, y_row,
+                                           product_width, relax,
+                                           scratch_base);
+  // The product of two n-bit numbers fits in 2n bits and the final-add
+  // carries are exact even under relaxation, so value.carry_out is always
+  // false here; multiplies report no carry by convention.
+  return delta.finish(value.value & low_mask(product_width));
 }
 
 }  // namespace apim::arith

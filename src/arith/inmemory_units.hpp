@@ -25,14 +25,20 @@ namespace apim::arith {
 
 /// Measured outcome of one in-memory operation (energy excludes per-cycle
 /// controller overhead, same convention as the word models).
+///
+/// Adders report their carry out of bit n-1 out-of-band in `carry_out`;
+/// for n < 64 it is also folded into `value` at bit n, at n = 64 the
+/// out-of-band copy is the only one (same contract as WordUnitResult).
 struct InMemoryResult {
   std::uint64_t value = 0;
   util::Cycles cycles = 0;
   double energy_ops_pj = 0.0;
+  bool carry_out = false;  ///< Adder carry out (false for multiplies).
 };
 
-/// Serial (ripple) MAGIC addition of two n-bit numbers: 12n+1 cycles.
-/// Result includes the carry out (n+1 bits).
+/// Serial (ripple) MAGIC addition of two n-bit numbers (n <= 64): 12n+1
+/// cycles. For n < 64 the result includes the carry out in-band (n+1
+/// bits); at n = 64 the carry is reported only via `carry_out`.
 [[nodiscard]] InMemoryResult inmemory_serial_add(
     std::uint64_t a, std::uint64_t b, unsigned n,
     const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
@@ -66,7 +72,9 @@ struct CsaOutcome {
     const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
 
 /// Standalone relaxed addition (SA-majority carries, approximated sums in
-/// the low `relax_m` bits): 13(n-m) + 2m + 1 cycles.
+/// the low `relax_m` bits), n <= 64: 13(n-m) + 2m + 1 cycles. Carry-out
+/// contract as for inmemory_serial_add (carries stay exact under
+/// relaxation, so `carry_out` is exact).
 [[nodiscard]] InMemoryResult inmemory_relaxed_add(
     std::uint64_t a, std::uint64_t b, unsigned n, unsigned relax_m,
     const device::EnergyModel& em, magic::Tracer* tracer = nullptr);

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "arith/batch.hpp"
 #include "device/energy_model.hpp"
 #include "util/units.hpp"
 
@@ -26,9 +27,13 @@ struct VectorAddOutcome {
 };
 
 /// Word-level model: K exact n-bit additions in one row-parallel pass.
+/// Under BatchBackend::kBitsliced the lanes execute in 64-wide bit-plane
+/// slices (arith/bitsliced.hpp) — sums, cycles and energy stay
+/// bit-identical to the word path for every thread count.
 [[nodiscard]] VectorAddOutcome fast_vector_add(
     std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
-    unsigned n, const device::EnergyModel& em);
+    unsigned n, const device::EnergyModel& em,
+    BatchBackend backend = BatchBackend::kWord);
 
 /// Bit-level twin: executes all K ripple adders concurrently (lane
 /// bit-steps batched across each lane group per cycle). Lane groups of a

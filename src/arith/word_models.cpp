@@ -72,7 +72,7 @@ FaWordResult word_fa_stage(std::uint64_t a, std::uint64_t b, std::uint64_t c,
 
 WordUnitResult word_serial_add(std::uint64_t a, std::uint64_t b, unsigned n,
                                const device::EnergyModel& em) {
-  assert(n >= 1 && n <= 63);
+  assert(n >= 1 && n <= 64);
   WordUnitResult out;
   // One shared initialization cycle for all 12n scratch/output cells; the
   // initial carry is a reference cell permanently at '0' (no write needed).
@@ -87,7 +87,8 @@ WordUnitResult word_serial_add(std::uint64_t a, std::uint64_t b, unsigned n,
     out.cycles += 12;
     out.energy_ops_pj += fa.nor_energy_pj;
   }
-  out.value = sum | (carry << n);
+  out.value = n < 64 ? (sum | (carry << n)) : sum;
+  out.carry_out = carry != 0;
   return out;
 }
 
@@ -253,6 +254,7 @@ WordUnitResult word_final_add(std::uint64_t x, std::uint64_t y, unsigned width,
 
   if (width < 64) value |= carry << width;
   out.value = value;
+  out.carry_out = carry != 0;
   assert(out.value == approximate_add_value(x, y, width, relax_m));
   return out;
 }

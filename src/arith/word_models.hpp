@@ -27,10 +27,17 @@ namespace apim::arith {
 
 /// Common result of a word-level unit: the computed value plus the cost the
 /// equivalent in-memory execution would incur.
+///
+/// Carry-out contract: adders report the carry out of bit n-1 out-of-band
+/// in `carry_out`. For n < 64 the carry is ALSO folded into `value` at bit
+/// n (the historical "(n+1)-bit result" convention); at n = 64 it cannot
+/// be, and `carry_out` is the only place it exists — it is never silently
+/// dropped.
 struct WordUnitResult {
   std::uint64_t value = 0;
   util::Cycles cycles = 0;
   double energy_ops_pj = 0.0;
+  bool carry_out = false;  ///< Carry out of the top bit (see contract above).
 };
 
 /// Total energy including the per-cycle controller/decoder overhead.
@@ -67,8 +74,9 @@ struct FaWordResult {
 
 // -- Serial (ripple) adder: the Talati-style 12N+1 baseline inside APIM ------
 
-/// Add two n-bit numbers with the serial MAGIC adder: 12n+1 cycles.
-/// Result has n+1 meaningful bits (carry out included).
+/// Add two n-bit numbers (n <= 64) with the serial MAGIC adder: 12n+1
+/// cycles. For n < 64 the result has n+1 meaningful bits (carry out
+/// included); at n = 64 the carry is reported only via `carry_out`.
 [[nodiscard]] WordUnitResult word_serial_add(std::uint64_t a, std::uint64_t b,
                                              unsigned n,
                                              const device::EnergyModel& em);
@@ -113,14 +121,18 @@ struct PpgResult {
 /// the top k = width - m bits via per-bit MAGIC full adds (13 cycles/bit),
 /// the low m bits with exact SA-majority carries (2 cycles/bit) and
 /// approximated sums S = NOT(Cout) (one shared trailing cycle).
-/// Cycles: 13k + 2m + 1 (the +1 only when m > 0). Result includes the
-/// carry out at bit `width`.
+/// Cycles: 13k + 2m + 1 (the +1 only when m > 0). For width < 64 the
+/// result includes the carry out at bit `width`; at width 64 the carry is
+/// reported only via `carry_out` (carries are exact in both regions, so
+/// the carry out is exact even under relaxation).
 [[nodiscard]] WordUnitResult word_final_add(std::uint64_t x, std::uint64_t y,
                                             unsigned width, unsigned relax_m,
                                             const device::EnergyModel& em);
 
 /// Reference semantics of the relaxed addition (value only, no costs);
-/// used by tests and by error-bound analysis.
+/// used by tests and by error-bound analysis. At width 64 the returned
+/// word necessarily truncates the carry; the unit results above carry it
+/// out-of-band.
 [[nodiscard]] std::uint64_t approximate_add_value(std::uint64_t x,
                                                   std::uint64_t y,
                                                   unsigned width,

@@ -1,10 +1,13 @@
 #include "core/apim.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdlib>
 
 #include <vector>
 
+#include "arith/bitsliced.hpp"
 #include "arith/inmemory_units.hpp"
 #include "arith/latency_model.hpp"
 #include "reliability/residue.hpp"
@@ -102,6 +105,85 @@ std::uint64_t ApimDevice::add_magnitude(std::uint64_t a, std::uint64_t b) {
                          op_cycles, op_energy);
   }
   return sum;
+}
+
+void ApimDevice::mul_magnitude_batch(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+    std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles) {
+  assert(values.size() == ops.size() && op_cycles.size() == ops.size());
+  if (config_.backend != Backend::kBitsliced) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const util::Cycles before = stats_.cycles;
+      values[i] = mul_magnitude(ops[i].first, ops[i].second);
+      op_cycles[i] = stats_.cycles - before;
+    }
+    return;
+  }
+  std::array<arith::MultiplyOutcome, arith::kBitsliceLanes> slice;
+  for (std::size_t lo = 0; lo < ops.size(); lo += arith::kBitsliceLanes) {
+    const std::size_t m = std::min(arith::kBitsliceLanes, ops.size() - lo);
+    arith::bitsliced_multiply_slice(ops.subspan(lo, m), config_.word_bits,
+                                    config_.approx, config_.energy,
+                                    std::span(slice.data(), m));
+    // Replay the scalar mul_magnitude accounting per op, in op order.
+    for (std::size_t k = 0; k < m; ++k) {
+      const util::Cycles before = stats_.cycles;
+      const std::uint64_t op_index = stats_.multiplies + stats_.additions;
+      ++stats_.multiplies;
+      const arith::MultiplyOutcome& r = slice[k];
+      std::uint64_t product = r.product;
+      stats_.partial_products += r.partial_count;
+      stats_.cycles += r.cycles;
+      stats_.energy_ops_pj += r.energy_ops_pj;
+      if (!config_.reliability.passive()) {
+        product = protect_result(product, ops[lo + k].first,
+                                 ops[lo + k].second, 2 * config_.word_bits,
+                                 /*is_mul=*/true, config_.approx.is_exact(),
+                                 op_index, r.cycles, r.energy_ops_pj);
+      }
+      values[lo + k] = product;
+      op_cycles[lo + k] = stats_.cycles - before;
+    }
+  }
+}
+
+void ApimDevice::add_magnitude_batch(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+    std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles) {
+  assert(values.size() == ops.size() && op_cycles.size() == ops.size());
+  if (config_.backend != Backend::kBitsliced) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const util::Cycles before = stats_.cycles;
+      values[i] = add_magnitude(ops[i].first, ops[i].second);
+      op_cycles[i] = stats_.cycles - before;
+    }
+    return;
+  }
+  const unsigned requested = adder_relax(config_.approx, config_.word_bits);
+  std::array<arith::AddOutcome, arith::kBitsliceLanes> slice;
+  for (std::size_t lo = 0; lo < ops.size(); lo += arith::kBitsliceLanes) {
+    const std::size_t m = std::min(arith::kBitsliceLanes, ops.size() - lo);
+    arith::bitsliced_add_slice(ops.subspan(lo, m), config_.word_bits,
+                               requested, config_.energy,
+                               std::span(slice.data(), m));
+    for (std::size_t k = 0; k < m; ++k) {
+      const util::Cycles before = stats_.cycles;
+      const std::uint64_t op_index = stats_.multiplies + stats_.additions;
+      ++stats_.additions;
+      const arith::AddOutcome& r = slice[k];
+      std::uint64_t sum = r.sum;
+      stats_.cycles += r.cycles;
+      stats_.energy_ops_pj += r.energy_ops_pj;
+      if (!config_.reliability.passive()) {
+        sum = protect_result(sum, ops[lo + k].first, ops[lo + k].second,
+                             config_.word_bits + 1, /*is_mul=*/false,
+                             requested == 0, op_index, r.cycles,
+                             r.energy_ops_pj);
+      }
+      values[lo + k] = sum;
+      op_cycles[lo + k] = stats_.cycles - before;
+    }
+  }
 }
 
 std::uint64_t ApimDevice::protect_result(std::uint64_t raw, std::uint64_t a,

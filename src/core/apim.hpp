@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "arith/fast_units.hpp"
 #include "core/config.hpp"
@@ -58,6 +59,24 @@ class ApimDevice {
 
   /// word_bits-wide magnitude addition (carry out preserved).
   [[nodiscard]] std::uint64_t add_magnitude(std::uint64_t a, std::uint64_t b);
+
+  // -- Batched magnitude operations ----------------------------------------
+  //
+  // Semantically identical to calling the scalar op once per pair in order:
+  // op indices, fault draws, residue checks, retry ladders and every stats
+  // field replay per op, so values, cycles and energy are bit-identical to
+  // the scalar loop for EVERY backend. Under Backend::kBitsliced the raw
+  // per-op outcomes come from 64-lane bitsliced slices instead of per-op
+  // word models — same numbers, a fraction of the host cost. `values[i]`
+  // receives op i's result; `op_cycles[i]` the device-cycle delta charged
+  // for op i (including protection and retries). Both spans must match
+  // `ops` in size.
+  void mul_magnitude_batch(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+      std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles);
+  void add_magnitude_batch(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+      std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles);
 
   // -- Signed fixed-point operations ----------------------------------------
 

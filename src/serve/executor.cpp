@@ -35,17 +35,14 @@ BatchExecution execute_batch(
   for (const auto& ops : members) total_ops += ops.size();
   if (total_ops == 0) return out;
 
-  struct OpRef {
-    std::uint64_t a, b;
-  };
   // Clamp to the shape's word width up front, exactly as
   // ApimDevice::clamp_magnitude does in direct device use.
   const std::uint64_t cap = util::mask_n(key.width);
   const auto clamp = [cap](std::uint64_t v) { return v > cap ? cap : v; };
-  std::vector<OpRef> flat;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flat;
   flat.reserve(total_ops);
   for (const auto& ops : members)
-    for (const auto& [a, b] : ops) flat.push_back(OpRef{clamp(a), clamp(b)});
+    for (const auto& [a, b] : ops) flat.emplace_back(clamp(a), clamp(b));
 
   const core::ApimConfig cfg = shape_config(key, base);
   const std::size_t chunks = (total_ops + kExecutorGrain - 1) / kExecutorGrain;
@@ -60,14 +57,13 @@ BatchExecution execute_batch(
         // fault draws) restarts at the chunk boundary, which depends only
         // on the op count — identical for every thread count.
         core::ApimDevice worker{cfg};
-        for (std::size_t i = lo; i < hi; ++i) {
-          const util::Cycles before = worker.stats().cycles;
-          per_op_value[i] =
-              key.op == OpKind::kMultiply
-                  ? worker.mul_magnitude(flat[i].a, flat[i].b)
-                  : worker.add_magnitude(flat[i].a, flat[i].b);
-          per_op_cycles[i] = worker.stats().cycles - before;
-        }
+        const auto ops = std::span(flat).subspan(lo, hi - lo);
+        const auto vals = std::span(per_op_value).subspan(lo, hi - lo);
+        const auto cycles = std::span(per_op_cycles).subspan(lo, hi - lo);
+        if (key.op == OpKind::kMultiply)
+          worker.mul_magnitude_batch(ops, vals, cycles);
+        else
+          worker.add_magnitude_batch(ops, vals, cycles);
         chunk_stats[lo / kExecutorGrain] = worker.stats();
       });
 

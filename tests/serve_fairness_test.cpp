@@ -187,6 +187,34 @@ TEST(ServeThreadInvariance, RandomScenariosBitExactAcrossWorkerCounts) {
   }
 }
 
+// -- Randomized stress: backend invariance ----------------------------------
+
+// The bitsliced tier executes the exact batches the Batcher seals, so a
+// whole serving run — responses, fairness counters, energy doubles, every
+// metrics field — must be bit-identical to the word-level backend, for
+// every thread count (tests/bitsliced_equivalence_test.cpp covers the
+// arithmetic layer; this covers the composed serving runtime, including
+// QoS escalation reruns).
+TEST(ServeBackendInvariance, BitslicedScenarioBitExactVsFastBackend) {
+  ThreadCountGuard guard;
+  for (const std::uint64_t seed : {7ull, 131ull, 909ull}) {
+    Scenario s = serve_harness::random_scenario(seed);
+    // Tight deadlines on tenant a force QoS escalate-on-miss reruns
+    // through the batch path as well.
+    s.tenants.front().deadline = 30000;
+    util::set_thread_count(1);
+    s.server.device.backend = core::Backend::kFast;
+    const Outcome reference = serve_harness::run_scenario(s);
+    s.server.device.backend = core::Backend::kBitsliced;
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+      util::set_thread_count(threads);
+      const Outcome run = serve_harness::run_scenario(s);
+      EXPECT_EQ(serve_harness::diff_outcomes(reference, run), "")
+          << "scenario seed " << seed << ", threads " << threads;
+    }
+  }
+}
+
 // -- Weighted contention: the 3:1 acceptance criteria ------------------------
 
 struct ContentionSetup {
