@@ -13,6 +13,8 @@
 //   repair  BIST march + spare-row remap before execution, residue-
 //           triggered retry ladder at run time;
 //   vote    three redundant domains + bitwise 2-of-3 majority.
+//
+// Flags: --threads N, --json <path>, --smoke (fewer trials/elements for CI).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -33,11 +35,12 @@ struct SweepPoint {
 };
 
 reliability::CampaignConfig campaign_at(double stuck_rate,
-                                        reliability::ReliabilityPolicy policy) {
+                                        reliability::ReliabilityPolicy policy,
+                                        bool smoke) {
   reliability::CampaignConfig cfg;
   cfg.apps = {"Sobel", "Robert", "Sharpen"};
-  cfg.elements = 1024;
-  cfg.trials = 3;
+  cfg.elements = smoke ? 256 : 1024;
+  cfg.trials = smoke ? 2 : 3;
   cfg.stuck_rate = stuck_rate;
   cfg.policy = policy;
   cfg.lanes = 16;
@@ -56,11 +59,14 @@ double mean_over_runs(const reliability::CampaignResult& r,
 
 int main(int argc, char** argv) {
   using namespace apim;
-  bench::configure_threads(argc, argv);
+  const std::size_t threads = bench::configure_threads(argc, argv);
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::string json_path = bench::json_output_path(argc, argv);
 
   std::puts("=== Extension: fault campaigns and the resilience curve ===");
-  std::puts("(3 image kernels x 3 fault maps per point; identical sampled "
-            "silicon for every policy)\n");
+  std::printf("(3 image kernels x %d fault maps per point; identical sampled "
+              "silicon for every policy%s)\n\n",
+              smoke ? 2 : 3, smoke ? "; smoke" : "");
 
   const double rates[] = {1e-4, 3e-4, 1e-3, 3e-3};
   const reliability::ReliabilityPolicy policies[] = {
@@ -73,8 +79,9 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> sweep;
   for (const double rate : rates)
     for (const auto policy : policies)
-      sweep.push_back(
-          {rate, policy, reliability::run_campaign(campaign_at(rate, policy))});
+      sweep.push_back({rate, policy,
+                       reliability::run_campaign(
+                           campaign_at(rate, policy, smoke))});
 
   util::TextTable table({"stuck rate", "policy", "accept", "min PSNR dB",
                          "detected", "retries", "escal.", "cycle ovh",
@@ -121,7 +128,7 @@ int main(int argc, char** argv) {
 
   // Transient upsets on top: moderate soft-error rate, repaired fabric.
   reliability::CampaignConfig storm = campaign_at(
-      1e-3, reliability::ReliabilityPolicy::kDetectAndRepair);
+      1e-3, reliability::ReliabilityPolicy::kDetectAndRepair, smoke);
   storm.transient_rate = 1e-4;
   const reliability::CampaignResult storm_result =
       reliability::run_campaign(storm);
@@ -167,5 +174,46 @@ int main(int argc, char** argv) {
             "buy the QoS back for tens of percent latency, while triple "
             "voting trades ~2x extra energy for approximation-compatible "
             "protection.");
-  return checks.finish();
+  const int exit_code = checks.finish();
+
+  if (!json_path.empty()) {
+    util::JsonValue report = util::JsonValue::object();
+    report.set("bench", "ext_fault_campaign");
+    report.set("smoke", smoke);
+    report.set("threads", static_cast<std::uint64_t>(threads));
+    report.set("off_accept_at_1e3", off_hi.accept_fraction());
+    report.set("repair_accept_at_1e3", repair_hi.accept_fraction());
+    report.set("vote_accept_at_1e3", vote_hi.accept_fraction());
+    report.set("repair_cycle_overhead_at_1e3", repair_cyc);
+    report.set("vote_energy_overhead_at_1e3", vote_nrg);
+    report.set("storm_accept", storm_result.accept_fraction());
+    report.set("storm_retries", storm_retries);
+
+    util::JsonValue rows = util::JsonValue::array();
+    for (const SweepPoint& p : sweep) {
+      util::JsonValue row = util::JsonValue::object();
+      row.set("stuck_rate", p.stuck_rate);
+      row.set("policy", reliability::to_string(p.policy));
+      row.set("accept_fraction", p.result.accept_fraction());
+      std::uint64_t detected = 0, retries = 0, escalations = 0;
+      for (const auto& run : p.result.runs) {
+        detected += run.faults_detected;
+        retries += run.retries;
+        escalations += run.escalations;
+      }
+      row.set("faults_detected", detected);
+      row.set("retries", retries);
+      row.set("escalations", escalations);
+      row.set("cycle_overhead", mean_over_runs(
+          p.result,
+          [](const reliability::CampaignRun& r) { return r.cycle_overhead; }));
+      row.set("energy_overhead", mean_over_runs(
+          p.result,
+          [](const reliability::CampaignRun& r) { return r.energy_overhead; }));
+      rows.append(std::move(row));
+    }
+    report.set("sweep", std::move(rows));
+    bench::write_json_report(json_path, report);
+  }
+  return exit_code;
 }

@@ -1,29 +1,40 @@
 #!/usr/bin/env bash
-# Per-PR performance trajectory: runs the benchmark trio at its fixed
-# seeds (headline_summary, ext_serving, ext_fairness) and folds the three
-# JSON reports into one normalized snapshot, BENCH_<n>.json at the repo
-# root. Committing the snapshot per PR gives the repo a reviewable
-# throughput/latency/fairness trajectory over time.
+# Per-PR performance trajectory: runs the benchmark quartet at its fixed
+# seeds (headline_summary, ext_serving, ext_fairness, ext_chaos) and
+# folds the four JSON reports into one normalized snapshot,
+# BENCH_<n>.json at the repo root. Committing the snapshot per PR gives
+# the repo a reviewable throughput/latency/fairness/resilience
+# trajectory over time.
 #
-# Usage: scripts/bench_pr.sh [--smoke] [out.json]
+# Usage: scripts/bench_pr.sh [--smoke] [--check] [out.json]
 #
 #   --smoke    CI mode: light bench workloads, output defaults to
 #              $BUILD_DIR/BENCH_smoke.json, and the generated document's
 #              key structure is checked against the committed full
 #              snapshot -- schema drift fails the run so BENCH_*.json
 #              stays machine-comparable across PRs.
+#   --check    Numeric regression gate: compares the generated metrics
+#              against the committed snapshot under per-metric
+#              tolerances (see TOLERANCES below). Scale-free ratios are
+#              held tight, workload-size-sensitive numbers loose enough
+#              for --smoke runs, host wall-clock excluded, and the chaos
+#              zero-corruption headline exactly. BENCH_CHECK_TOL_SCALE
+#              (default 1.0) scales every rel/abs tolerance for noisy
+#              environments.
 #
 # Environment: BUILD_DIR (default: build) must hold a built tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-SNAPSHOT="BENCH_6.json"
+SNAPSHOT="BENCH_7.json"
 SMOKE=0
+CHECK=0
 OUT=""
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE=1 ;;
+    --check) CHECK=1 ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) OUT="$arg" ;;
   esac
@@ -32,7 +43,7 @@ if [[ -z "$OUT" ]]; then
   if [[ $SMOKE -eq 1 ]]; then OUT="$BUILD_DIR/BENCH_smoke.json"; else OUT="$SNAPSHOT"; fi
 fi
 
-for bin in headline_summary ext_serving ext_fairness; do
+for bin in headline_summary ext_serving ext_fairness ext_chaos; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_pr.sh: missing $BUILD_DIR/bench/$bin (build the tree first)" >&2
     exit 1
@@ -53,11 +64,15 @@ echo "== ext_serving"
 "$BUILD_DIR/bench/ext_serving" "${smoke_flag[@]}" --json "$tmp/serving.json" > "$tmp/serving.log"
 echo "== ext_fairness"
 "$BUILD_DIR/bench/ext_fairness" "${smoke_flag[@]}" --json "$tmp/fairness.json" > "$tmp/fairness.log"
+echo "== ext_chaos"
+"$BUILD_DIR/bench/ext_chaos" "${smoke_flag[@]}" --json "$tmp/chaos.json" > "$tmp/chaos.log"
 
-python3 - "$tmp" "$OUT" "$SMOKE" "$SNAPSHOT" <<'PY'
-import json, sys
+python3 - "$tmp" "$OUT" "$SMOKE" "$SNAPSHOT" "$CHECK" <<'PY'
+import json, os, sys
 
-tmp, out_path, smoke, snapshot_path = sys.argv[1], sys.argv[2], sys.argv[3] == "1", sys.argv[4]
+tmp, out_path, smoke, snapshot_path, check = (
+    sys.argv[1], sys.argv[2], sys.argv[3] == "1", sys.argv[4],
+    sys.argv[5] == "1")
 
 def load(name, required):
     with open(f"{tmp}/{name}.json") as f:
@@ -73,6 +88,8 @@ serving = load("serving", ["batched_vs_unbatched_speedup",
                            "bitsliced_vs_word_host_speedup", "backend_ab",
                            "sweep", "slo_p99_cycles"])
 fairness = load("fairness", ["runs", "light_p99_solo_cycles"])
+chaos = load("chaos", ["throughput_ratio", "health_on_corrupted",
+                       "health_on_silent", "health_off_corrupted", "runs"])
 
 def sweep_row(mode, pick):
     rows = [r for r in serving["sweep"] if r["mode"] == mode]
@@ -94,10 +111,17 @@ def jain(run):
         sys.exit(f"bench_pr.sh: fairness report has no '{run}' run (schema drift)")
     return rows[0]["jain_fairness"]
 
+def chaos_run(name):
+    rows = [r for r in chaos["runs"] if r["run"] == name]
+    if not rows:
+        sys.exit(f"bench_pr.sh: chaos report has no '{name}' run (schema drift)")
+    return rows[0]
+
+chaos_on = chaos_run("chaos-on")
 ab = serving["backend_ab"]
 doc = {
-    "bench_id": "BENCH_6",
-    "schema_version": 1,
+    "bench_id": "BENCH_7",
+    "schema_version": 2,
     "smoke": smoke,
     "backend": {
         "tier": "kBitsliced",
@@ -120,6 +144,16 @@ doc = {
         "jain_mixed_drr": jain("mixed-drr"),
         "light_p99_solo_cycles": fairness["light_p99_solo_cycles"],
     },
+    "chaos": {
+        "throughput_ratio": chaos["throughput_ratio"],
+        "health_on_corrupted": chaos["health_on_corrupted"],
+        "health_on_silent": chaos["health_on_silent"],
+        "health_off_corrupted": chaos["health_off_corrupted"],
+        "relocated_requests": chaos_on["relocated_requests"],
+        "quarantines": chaos_on["quarantines"],
+        "scrub_passes": chaos_on["scrub_passes"],
+        "min_serving_domains": chaos_on["min_serving_domains"],
+    },
     "headline": {
         "mean_exact_speedup": headline["mean_exact_speedup"],
         "mean_exact_energy_gain": headline["mean_exact_energy_gain"],
@@ -140,11 +174,16 @@ def signature(node, prefix=""):
         paths |= signature(node[0], f"{prefix}[]")
     return paths
 
-if smoke:
+def read_committed():
     try:
         with open(snapshot_path) as f:
-            committed = json.load(f)
+            return json.load(f)
     except FileNotFoundError:
+        return None
+
+if smoke:
+    committed = read_committed()
+    if committed is None:
         print(f"bench_pr.sh: no committed {snapshot_path}; skipping drift check")
     else:
         ours, theirs = signature(doc), signature(committed)
@@ -154,6 +193,84 @@ if smoke:
             sys.exit("bench_pr.sh: BENCH schema drift vs committed "
                      f"{snapshot_path}\n  added: {added}\n  removed: {removed}")
         print(f"bench_pr.sh: schema matches committed {snapshot_path}")
+
+# -- Numeric regression gate (--check) ----------------------------------
+# Per-metric tolerance rules against the committed full snapshot. The
+# rules must hold for BOTH smoke and full runs, so workload-size-
+# sensitive absolutes get loose relative tolerances while scale-free
+# ratios stay tight and invariants stay exact:
+#   ("exact",)      value must equal the committed one (counters that
+#                   must never regress, e.g. zero corrupted responses);
+#   ("rel", t)      |new - old| <= t * max(|old|, eps);
+#   ("abs", t)      |new - old| <= t;
+#   ("min", v)      new >= v, committed value ignored (one-sided floors
+#                   where "better than committed" must never fail);
+#   omitted paths   schema-checked only (host wall-clock RPS etc.).
+# BENCH_CHECK_TOL_SCALE scales every rel/abs tolerance.
+TOLERANCES = {
+    "backend.outcomes_bit_identical": ("exact",),
+    # Host wall-clock ratio: direction matters, magnitude is noisy.
+    "backend.bitsliced_vs_word_host_speedup": ("min", 4.0),
+    # Virtual-time ratio, but the smoke workload batches less densely.
+    "serving.batched_vs_unbatched_speedup": ("rel", 0.50),
+    "serving.slo_p99_cycles": ("exact",),
+    "serving.cycles_per_op_light_load": ("rel", 0.30),
+    "fairness.jain_mixed_drr": ("abs", 0.05),
+    "fairness.jain_mixed_fifo": ("abs", 0.15),
+    "fairness.light_p99_solo_cycles": ("rel", 0.30),
+    # The resilience headline: the health layer must keep serving exact.
+    "chaos.health_on_corrupted": ("exact",),
+    "chaos.health_on_silent": ("exact",),
+    "chaos.health_off_corrupted": ("min", 1),
+    "chaos.throughput_ratio": ("abs", 0.15),
+    "chaos.relocated_requests": ("min", 1),
+    "chaos.quarantines": ("min", 1),
+    "chaos.scrub_passes": ("min", 1),
+    # Full-mode always (headline_summary takes no --smoke): tight.
+    "headline.mean_exact_speedup": ("rel", 0.05),
+    "headline.mean_exact_energy_gain": ("rel", 0.05),
+    "headline.max_approx_speedup": ("rel", 0.05),
+    "headline.max_approx_edp_gain": ("rel", 0.05),
+}
+
+if check:
+    committed = read_committed()
+    if committed is None:
+        sys.exit(f"bench_pr.sh: --check needs a committed {snapshot_path}")
+    scale = float(os.environ.get("BENCH_CHECK_TOL_SCALE", "1.0"))
+    failures = []
+    for path, rule in sorted(TOLERANCES.items()):
+        node_new, node_old = doc, committed
+        for key in path.split("."):
+            node_new = node_new.get(key) if isinstance(node_new, dict) else None
+            node_old = node_old.get(key) if isinstance(node_old, dict) else None
+        if node_new is None or (node_old is None and rule[0] != "min"):
+            failures.append(f"{path}: missing from snapshot (schema drift)")
+            continue
+        kind = rule[0]
+        if kind == "exact":
+            ok = node_new == node_old
+            detail = f"{node_new!r} != committed {node_old!r}"
+        elif kind == "min":
+            ok = node_new >= rule[1]
+            detail = f"{node_new!r} < floor {rule[1]!r}"
+        elif kind == "rel":
+            tol = rule[1] * scale
+            ok = abs(node_new - node_old) <= tol * max(abs(node_old), 1e-12)
+            detail = (f"{node_new:.6g} vs committed {node_old:.6g} "
+                      f"(> {100 * tol:.0f}% off)")
+        else:  # abs
+            tol = rule[1] * scale
+            ok = abs(node_new - node_old) <= tol
+            detail = (f"{node_new:.6g} vs committed {node_old:.6g} "
+                      f"(> {tol:g} away)")
+        if not ok:
+            failures.append(f"{path}: {detail}")
+    if failures:
+        sys.exit("bench_pr.sh: numeric regression vs committed "
+                 f"{snapshot_path}\n  " + "\n  ".join(failures))
+    print(f"bench_pr.sh: {len(TOLERANCES)} metrics within tolerance of "
+          f"committed {snapshot_path}")
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)

@@ -20,8 +20,10 @@ cmake -B "$BUILD_DIR" -S . \
 # serve_fairness_test's Serve* suites (DRR unit tests, randomized
 # conservation, thread-count invariance) run here; its heavy
 # FairShareContention suite stays outside the regex below on purpose.
+# serve_health_test's Serve* suites (health monitor, scrub, chaos with
+# mid-serve kills) exercise execute_batch's pool under relocation.
 TARGETS=(parallel_exec_test batch_test vector_unit_test util_test apps_test
-  serve_test serve_fairness_test)
+  serve_test serve_fairness_test serve_health_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # halt_on_error makes the first race fail the test binary (and so ctest).

@@ -150,6 +150,24 @@ class ApimDevice {
     return stats_.escalations > 0;
   }
 
+  /// The reliability counters an online health tracker consumes per
+  /// execution window: residue/vote mismatches, ladder re-executions, and
+  /// exhausted ladders. The serving runtime's per-fault-domain state
+  /// machine (serve/health.hpp) quarantines on escalations and turns
+  /// domains suspect on detections.
+  struct HealthCounters {
+    std::uint64_t detections = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t escalations = 0;
+  };
+  [[nodiscard]] HealthCounters health_counters() const noexcept {
+    return health_counters(stats_);
+  }
+  [[nodiscard]] static HealthCounters health_counters(
+      const ExecStats& s) noexcept {
+    return HealthCounters{s.faults_detected, s.retries, s.escalations};
+  }
+
   // -- Accounting -----------------------------------------------------------
   [[nodiscard]] const ExecStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }

@@ -25,6 +25,13 @@ struct ChipGeometry {
   std::size_t blocks_per_tile = 3;  ///< 1 data + 2 processing blocks.
   std::size_t rows = 512;
   std::size_t cols = 128;
+  /// Scratch rows per processing block that the arithmetic schedules
+  /// traverse — the band a march-test scrub scans (reliability/bist.hpp,
+  /// serve/health.hpp).
+  std::size_t scratch_rows_per_block = 16;
+  /// Physical spare rows per processing block available for remapping
+  /// defective scratch rows (crossbar `spare_rows`).
+  std::size_t spare_rows_per_block = 4;
 };
 
 class ApimChip {
@@ -52,6 +59,11 @@ class ApimChip {
   /// Lanes one command stream drives: the active tiles of its bank. The
   /// upper bound on useful batch width per dispatch.
   [[nodiscard]] std::size_t lanes_per_stream() const noexcept;
+
+  /// Health-trackable fault domains: a bank fails (controller, decoder,
+  /// shared drivers) as a unit, so the serving runtime's health monitor
+  /// tracks one domain per command stream (serve/health.hpp).
+  [[nodiscard]] std::size_t fault_domains() const noexcept;
 
   /// Whether a dataset fits in the data blocks.
   [[nodiscard]] bool fits(double dataset_bytes) const noexcept;

@@ -75,6 +75,28 @@ class LaneFaultTable {
     ++stuck_count_;
   }
 
+  /// Spare-row repair of up to `max_bits` stuck bits, in a deterministic
+  /// order (lane-major, multiplier before adder, oldest injection first):
+  /// the march-test scrub (serve/health.hpp) calls this to model remapping
+  /// the defective scratch rows onto spares, which clears the projected
+  /// functional fault exactly as BlockedCrossbar::remap_row does at the
+  /// bit level. Returns how many bits were cleared. Transient state is
+  /// untouched — soft errors have no cell to remap.
+  std::size_t repair_stuck(std::size_t max_bits) {
+    std::size_t repaired = 0;
+    for (UnitFaults& f : table_) {
+      for (std::vector<StuckBit>* bits : {&f.mul_bits, &f.add_bits}) {
+        while (!bits->empty() && repaired < max_bits) {
+          bits->erase(bits->begin());
+          ++repaired;
+        }
+      }
+      if (repaired >= max_bits) break;
+    }
+    stuck_count_ -= repaired;
+    return repaired;
+  }
+
   /// Transient (soft) bit-flip model: each executed op independently
   /// flips one uniformly chosen output bit with probability `rate`.
   void set_transient(double rate, std::uint64_t seed) {

@@ -49,6 +49,9 @@ struct BatchKey {
   return BatchKey{r.op, r.width, relax_bits, r.policy, r.app};
 }
 
+/// Sentinel for ClosedBatch::scrub_domain: not a scrub batch.
+inline constexpr std::size_t kNotScrub = static_cast<std::size_t>(-1);
+
 /// A closed batch, ready for dispatch: member request ids in admission
 /// order plus bookkeeping for FIFO dispatch.
 struct ClosedBatch {
@@ -57,6 +60,11 @@ struct ClosedBatch {
   std::size_t ops = 0;
   util::Cycles closed_at = 0;
   std::uint64_t seq = 0;  ///< Close order tie-break (deterministic FIFO).
+  /// When != kNotScrub this is a background march-test scrub batch
+  /// targeting that fault domain (serve/health.hpp): no members, rides
+  /// the DRR scheduler under the `kScrubTenant` system tenant, and must
+  /// dispatch on its target stream.
+  std::size_t scrub_domain = kNotScrub;
 };
 
 class DynamicBatcher {

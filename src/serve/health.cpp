@@ -1,0 +1,106 @@
+#include "serve/health.hpp"
+
+#include <algorithm>
+
+namespace apim::serve::health {
+
+ScrubReport scrub_domain(reliability::LaneFaultTable& faults, bool dead,
+                         std::size_t lanes, const HealthConfig& cfg,
+                         const device::EnergyModel& em) {
+  ScrubReport r;
+  // March cost mirrors reliability/bist.cpp's law: each scanned row costs
+  // W0 R0 W1 R1 plus a restore write = 3 driver cycles + 2 SA readback
+  // cycles. The pass covers `scrub_rows` scratch rows on every lane of
+  // the domain (the bank's controller marches its tiles in lockstep, so
+  // rows scale with lanes while cycles are charged per marched row).
+  const std::size_t rows = cfg.scrub_rows * std::max<std::size_t>(1, lanes);
+  r.cycles = static_cast<util::Cycles>(rows) * 5;
+  const double cells =
+      static_cast<double>(rows) * static_cast<double>(cfg.scrub_cols);
+  // Per cell: W0 and W1 each flip roughly every other cell (charge the
+  // flipping write), the restore write usually does not, plus two reads.
+  r.energy_pj = cells * (2.0 * em.write_energy_pj(true) +
+                         em.write_energy_pj(false) + 2.0 * em.e_read_pj);
+
+  // The march sees every stuck cell in the scanned band; spare-row remap
+  // clears up to the configured budget of projected stuck bits.
+  r.stuck_found = faults.stuck_count();
+  r.repaired = faults.repair_stuck(cfg.spare_bits_per_scrub);
+  r.clean = !dead && faults.stuck_count() == 0;
+  return r;
+}
+
+reliability::LaneFaultTable whole_domain_failure(std::size_t lanes,
+                                                 std::size_t domains) {
+  reliability::LaneFaultTable t(lanes, domains);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t dom = 0; dom < std::max<std::size_t>(1, domains);
+         ++dom) {
+      t.add_mul_stuck(lane, dom, 1, true);
+      t.add_add_stuck(lane, dom, 1, true);
+    }
+  }
+  return t;
+}
+
+HealthMonitor::HealthMonitor(std::size_t domains, const HealthConfig& cfg)
+    : cfg_(cfg), doms_(domains) {}
+
+std::size_t HealthMonitor::serving_count() const noexcept {
+  std::size_t n = 0;
+  for (const Domain& d : doms_)
+    if (d.state != DomainState::kQuarantined) ++n;
+  return n;
+}
+
+void HealthMonitor::on_dispatch(std::size_t d, std::uint64_t detections,
+                                std::uint64_t escalations) {
+  Domain& m = doms_[d];
+  m.detections_since_scrub += detections;
+  if (m.state == DomainState::kQuarantined) return;
+  if (escalations > 0 ||
+      m.detections_since_scrub >= cfg_.quarantine_detections) {
+    quarantine(d);
+    return;
+  }
+  if (m.state == DomainState::kHealthy &&
+      m.detections_since_scrub >= cfg_.suspect_detections) {
+    m.state = DomainState::kSuspect;
+  }
+}
+
+void HealthMonitor::quarantine(std::size_t d) {
+  Domain& m = doms_[d];
+  if (m.state == DomainState::kQuarantined) return;
+  m.state = DomainState::kQuarantined;
+  m.repair_attempts = 0;
+  m.clean_streak = 0;
+}
+
+bool HealthMonitor::on_scrub(std::size_t d, const ScrubReport& r) {
+  Domain& m = doms_[d];
+  m.detections_since_scrub = 0;
+  if (m.state == DomainState::kQuarantined) {
+    ++m.repair_attempts;
+    if (!r.clean) {
+      m.clean_streak = 0;
+      return false;
+    }
+    ++m.clean_streak;
+    if (m.clean_streak < cfg_.readmit_clean_scrubs) return false;
+    m.state = DomainState::kHealthy;
+    m.repair_attempts = 0;
+    m.clean_streak = 0;
+    return true;
+  }
+  if (r.clean) {
+    m.state = DomainState::kHealthy;  // A clean pass clears suspicion.
+  } else {
+    // Unrepairable stuck population: drain the domain and keep repairing
+    // off-line rather than serving degraded results.
+    quarantine(d);
+  }
+  return false;
+}
+
+}  // namespace apim::serve::health

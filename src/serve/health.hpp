@@ -1,0 +1,209 @@
+// Online fault-domain health model of the serving runtime.
+//
+// A FAULT DOMAIN is one controller command stream — a bank and the lanes
+// it broadcasts to (core/chip.hpp). The device layer already knows how to
+// notice faults (mod-3 residue checks, retry ladders, march-test BIST,
+// reliability/); this header closes the loop at serving time: every
+// dispatch's reliability counters feed a per-domain state machine,
+//
+//   kHealthy --detections >= suspect threshold--> kSuspect
+//   kSuspect --clean scrub--> kHealthy
+//   any      --escalation or detections >= quarantine threshold or
+//             whole-domain failure--> kQuarantined
+//   kQuarantined --readmit_clean_scrubs clean re-tests--> kHealthy
+//
+// and the engine (serve/server.cpp) reacts: suspect domains optionally
+// run their traffic at an upgraded reliability policy (DegradeMode),
+// quarantined domains stop serving, their in-flight work RELOCATES to
+// healthy domains, and a background march-test scrub — scheduled through
+// the DRR scheduler as the low-weight system tenant `kScrubTenant` —
+// repairs stuck bits by spare-row remap and earns re-admission.
+//
+// Everything here is a plain value type driven from the single-threaded
+// virtual-time engine, so health decisions are bit-identical for every
+// host thread count (the repo-wide determinism contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "device/energy_model.hpp"
+#include "reliability/fault_state.hpp"
+#include "reliability/policy.hpp"
+#include "util/units.hpp"
+
+namespace apim::serve::health {
+
+/// Reserved tenant name the background scrubber dispatches under. Its DRR
+/// weight (HealthConfig::scrub_weight) is deliberately low: scrubbing
+/// steals idle capacity instead of competing with tenant SLOs.
+inline constexpr const char* kScrubTenant = "__scrub";
+
+enum class DomainState : std::uint8_t {
+  kHealthy,
+  kSuspect,      ///< Detections above threshold; still serving.
+  kQuarantined,  ///< Drained: no dispatches until a clean re-test.
+};
+
+[[nodiscard]] constexpr const char* to_string(DomainState s) noexcept {
+  switch (s) {
+    case DomainState::kHealthy: return "healthy";
+    case DomainState::kSuspect: return "suspect";
+    case DomainState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+/// What to do with traffic when capacity degrades (suspect domains, or
+/// queue capacity shrunk by quarantines).
+enum class DegradeMode : std::uint8_t {
+  kShed,     ///< Reject what the lost capacity can no longer absorb.
+  kBlock,    ///< Head-of-line block arrivals until capacity frees.
+  kDegrade,  ///< Like kShed, plus suspect-domain batches execute at the
+             ///< upgraded `degrade_policy` (detect-and-repair/vote).
+};
+
+/// One scheduled fault injection, applied by the engine at virtual time
+/// `at`. The schedule fires with the health layer ON or OFF — that is the
+/// chaos A/B: same silicon decay, with and without the immune system.
+struct DomainFaultEvent {
+  util::Cycles at = 0;
+  std::size_t domain = 0;
+  enum class Kind : std::uint8_t {
+    kSetFaults,  ///< Install `faults` as the domain's fault table.
+    kKill,       ///< Whole-domain failure (whole_domain_failure table).
+    kClear,      ///< Fabric recovers: empty fault table.
+  } kind = Kind::kSetFaults;
+  reliability::LaneFaultTable faults{};
+};
+
+struct HealthConfig {
+  /// Master switch. OFF by default: the engine then behaves bit-identically
+  /// to the pre-health runtime (fault schedules still fire, so the chaos
+  /// bench can A/B the layer on identical fault injections).
+  bool enabled = false;
+
+  DegradeMode mode = DegradeMode::kDegrade;
+  /// Policy suspect-domain batches are upgraded to under kDegrade (only
+  /// ever upgraded, never downgraded below what the tenant pays for).
+  reliability::ReliabilityPolicy degrade_policy =
+      reliability::ReliabilityPolicy::kTripleVote;
+
+  /// Residue detections (since the last scrub) that turn a domain suspect.
+  std::uint64_t suspect_detections = 8;
+  /// Detections that quarantine it outright. Any escalation (an exhausted
+  /// retry ladder: the device could not produce a verified result)
+  /// quarantines immediately regardless of this threshold.
+  std::uint64_t quarantine_detections = 1024;
+
+  /// Preventive scrub: every `scrub_interval` cycles (0 disables) the
+  /// engine enqueues one march-test BIST pass over the next serving
+  /// domain, round-robin, as a `kScrubTenant` batch through the DRR
+  /// scheduler. The pass marches `scrub_rows` scratch rows x `scrub_cols`
+  /// cells on each of the domain's lanes (cost law: reliability/bist.cpp).
+  util::Cycles scrub_interval = 50000;
+  std::size_t scrub_rows = 16;
+  std::size_t scrub_cols = 128;
+  std::uint32_t scrub_weight = 1;
+  /// Stuck bits one scrub pass can clear by spare-row remap.
+  std::size_t spare_bits_per_scrub = 16;
+
+  /// Quarantined-domain repair: off-line re-tests (the domain holds no
+  /// serving stream) every `repair_interval` cycles, up to
+  /// `max_repair_attempts`; `readmit_clean_scrubs` consecutive clean
+  /// passes re-admit the domain.
+  util::Cycles repair_interval = 25000;
+  unsigned max_repair_attempts = 4;
+  unsigned readmit_clean_scrubs = 1;
+
+  /// Times one request may be relocated off a failing domain before the
+  /// server gives up and rejects it (bounds livelock under chaos).
+  unsigned max_relocations = 4;
+
+  /// Chaos schedule, applied in `at` order (ties: schedule order).
+  std::vector<DomainFaultEvent> fault_schedule;
+};
+
+/// Result of one march-test scrub pass over a domain.
+struct ScrubReport {
+  std::size_t stuck_found = 0;    ///< Stuck bits present before the pass.
+  std::size_t repaired = 0;       ///< Cleared by spare-row remap.
+  bool clean = false;             ///< No stuck bits remain and not dead.
+  util::Cycles cycles = 0;        ///< March cost (occupies the stream).
+  double energy_pj = 0.0;
+};
+
+/// Run one march-test BIST pass over a domain's functional fault table:
+/// deterministic cost from the march law, spare-row repair of up to
+/// `spare_bits_per_scrub` stuck bits. Transient (soft) faults are
+/// invisible to a march — `clean` only certifies the stuck population.
+ScrubReport scrub_domain(reliability::LaneFaultTable& faults, bool dead,
+                         std::size_t lanes, const HealthConfig& cfg,
+                         const device::EnergyModel& em);
+
+/// Catastrophic whole-domain failure table: one stuck output bit on every
+/// (lane, redundancy domain) for both units. A SINGLE stuck bit per unit
+/// guarantees the mod-3 residue check catches every actually-corrupted
+/// result (a one-bit delta is never divisible by 3), so detect-and-repair
+/// traffic escalates instead of silently returning garbage — which is
+/// exactly the signal the health layer quarantines on.
+[[nodiscard]] reliability::LaneFaultTable whole_domain_failure(
+    std::size_t lanes, std::size_t domains);
+
+/// The per-domain state machine. Owned and driven by the engine; all
+/// methods are deterministic functions of the call sequence.
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+  HealthMonitor(std::size_t domains, const HealthConfig& cfg);
+
+  [[nodiscard]] std::size_t domains() const noexcept { return doms_.size(); }
+  [[nodiscard]] DomainState state(std::size_t d) const {
+    return doms_[d].state;
+  }
+  /// A domain serves traffic unless quarantined.
+  [[nodiscard]] bool serving(std::size_t d) const {
+    return doms_[d].state != DomainState::kQuarantined;
+  }
+  [[nodiscard]] std::size_t serving_count() const noexcept;
+
+  [[nodiscard]] bool dead(std::size_t d) const { return doms_[d].dead; }
+  void mark_dead(std::size_t d) { doms_[d].dead = true; }
+
+  /// Feed one completed dispatch's reliability counters. Escalations (or
+  /// the detection threshold) quarantine; detections alone may suspect.
+  void on_dispatch(std::size_t d, std::uint64_t detections,
+                   std::uint64_t escalations);
+
+  /// Force-quarantine (whole-domain failure, unverified batch).
+  void quarantine(std::size_t d);
+
+  /// Feed one scrub/re-test result. Returns true when the pass re-admitted
+  /// a quarantined domain.
+  bool on_scrub(std::size_t d, const ScrubReport& r);
+
+  /// Quarantined and out of repair attempts: the engine stops scheduling
+  /// re-tests (the domain is retired for this serve).
+  [[nodiscard]] bool gave_up(std::size_t d) const {
+    return doms_[d].state == DomainState::kQuarantined &&
+           doms_[d].repair_attempts >= cfg_.max_repair_attempts;
+  }
+  [[nodiscard]] unsigned repair_attempts(std::size_t d) const {
+    return doms_[d].repair_attempts;
+  }
+
+ private:
+  struct Domain {
+    DomainState state = DomainState::kHealthy;
+    bool dead = false;
+    std::uint64_t detections_since_scrub = 0;
+    unsigned repair_attempts = 0;
+    unsigned clean_streak = 0;
+  };
+
+  HealthConfig cfg_{};
+  std::vector<Domain> doms_;
+};
+
+}  // namespace apim::serve::health

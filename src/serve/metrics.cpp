@@ -83,6 +83,80 @@ void Metrics::record_tenant_dispatch(const std::string& app,
       std::max(counts.max_starvation_cycles, queued_for);
 }
 
+void Metrics::configure_domains(std::size_t domains) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  domains_.assign(domains, MetricsSnapshot::DomainSnapshot{});
+  capacity_timeline_.assign(1, MetricsSnapshot::CapacityPoint{0, domains});
+  min_serving_domains_ = domains;
+}
+
+void Metrics::record_domain_dispatch(std::size_t domain,
+                                     std::uint64_t detections,
+                                     std::uint64_t escalations) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (domain >= domains_.size()) return;
+  MetricsSnapshot::DomainSnapshot& d = domains_[domain];
+  ++d.dispatches;
+  d.detections += detections;
+  d.escalations += escalations;
+}
+
+void Metrics::record_domain_state(std::size_t domain,
+                                  health::DomainState state, bool dead,
+                                  util::Cycles at, std::size_t serving) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (domain >= domains_.size()) return;
+  MetricsSnapshot::DomainSnapshot& d = domains_[domain];
+  const health::DomainState prev = d.state;
+  if (state == health::DomainState::kQuarantined &&
+      prev != health::DomainState::kQuarantined) {
+    ++d.quarantines;
+  }
+  if (prev == health::DomainState::kQuarantined &&
+      state != health::DomainState::kQuarantined) {
+    ++d.readmissions;
+  }
+  d.state = state;
+  d.dead = dead;
+  if (capacity_timeline_.empty() ||
+      capacity_timeline_.back().serving_domains != serving) {
+    capacity_timeline_.push_back(MetricsSnapshot::CapacityPoint{at, serving});
+  }
+  min_serving_domains_ = std::min(min_serving_domains_, serving);
+}
+
+void Metrics::record_scrub(std::size_t domain,
+                           const health::ScrubReport& report) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++scrub_passes_;
+  scrub_cycles_ += report.cycles;
+  scrub_energy_pj_ += report.energy_pj;
+  scrub_repaired_bits_ += report.repaired;
+  if (domain >= domains_.size()) return;
+  MetricsSnapshot::DomainSnapshot& d = domains_[domain];
+  ++d.scrubs;
+  d.stuck_found += report.stuck_found;
+  d.repaired_bits += report.repaired;
+}
+
+void Metrics::record_relocation(std::size_t requests, std::size_t ops) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++relocated_batches_;
+  relocated_requests_ += requests;
+  relocated_ops_ += ops;
+}
+
+void Metrics::record_relocation_reject() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++relocation_rejects_;
+}
+
+void Metrics::record_degraded(std::size_t ops) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++degraded_batches_;
+  degraded_ops_ += ops;
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot s;
@@ -99,6 +173,19 @@ MetricsSnapshot Metrics::snapshot() const {
   s.energy_pj = energy_pj_;
   s.device_stats = device_stats_;
   s.per_app = per_app_;
+  s.domains = domains_;
+  s.scrub_passes = scrub_passes_;
+  s.scrub_cycles = scrub_cycles_;
+  s.scrub_energy_pj = scrub_energy_pj_;
+  s.scrub_repaired_bits = scrub_repaired_bits_;
+  s.relocated_requests = relocated_requests_;
+  s.relocated_ops = relocated_ops_;
+  s.relocated_batches = relocated_batches_;
+  s.relocation_rejects = relocation_rejects_;
+  s.degraded_batches = degraded_batches_;
+  s.degraded_ops = degraded_ops_;
+  s.capacity_timeline = capacity_timeline_;
+  s.min_serving_domains = min_serving_domains_;
 
   double x_sum = 0.0, x_sq_sum = 0.0;
   std::size_t fair_apps = 0;

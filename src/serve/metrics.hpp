@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "serve/health.hpp"
 #include "util/units.hpp"
 
 namespace apim::serve {
@@ -57,6 +58,44 @@ struct MetricsSnapshot {
   /// receives service exactly in weight proportion, → 1/n as one tenant
   /// monopolizes. 1.0 when fewer than two tenants dispatched.
   double jain_fairness = 1.0;
+
+  // -- Online health (all zero/empty unless ServerConfig::health.enabled) ---
+  /// Per-fault-domain health view, indexed by domain (= stream) id.
+  struct DomainSnapshot {
+    health::DomainState state = health::DomainState::kHealthy;
+    bool dead = false;
+    std::uint64_t dispatches = 0;   ///< Batches executed on this domain.
+    std::uint64_t detections = 0;   ///< Residue/vote mismatches observed.
+    std::uint64_t escalations = 0;  ///< Exhausted retry ladders observed.
+    std::uint64_t scrubs = 0;       ///< March-test passes (incl. re-tests).
+    std::uint64_t stuck_found = 0;  ///< Stuck bits seen by those passes.
+    std::uint64_t repaired_bits = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t readmissions = 0;
+  };
+  std::vector<DomainSnapshot> domains;
+  std::uint64_t scrub_passes = 0;
+  util::Cycles scrub_cycles = 0;  ///< Stream-cycles spent scrubbing.
+  double scrub_energy_pj = 0.0;
+  std::uint64_t scrub_repaired_bits = 0;
+  std::uint64_t relocated_requests = 0;  ///< Re-queues off failing domains.
+  std::uint64_t relocated_ops = 0;
+  std::uint64_t relocated_batches = 0;
+  std::uint64_t relocation_rejects = 0;  ///< Gave up after max_relocations.
+  std::uint64_t degraded_batches = 0;    ///< Ran at an upgraded policy.
+  std::uint64_t degraded_ops = 0;
+  /// Serving-capacity timeline: one point per change in the number of
+  /// serving (non-quarantined) domains, starting at (0, streams).
+  struct CapacityPoint {
+    util::Cycles at = 0;
+    std::size_t serving_domains = 0;
+  };
+  std::vector<CapacityPoint> capacity_timeline;
+  std::size_t min_serving_domains = 0;
+  [[nodiscard]] std::size_t serving_domains() const noexcept {
+    return capacity_timeline.empty() ? 0
+                                     : capacity_timeline.back().serving_domains;
+  }
 
   /// Per-tenant completion/escalation counts and fairness accounting.
   struct AppCounts {
@@ -104,6 +143,23 @@ class Metrics {
                               std::size_t ops, util::Cycles queued_for,
                               std::uint64_t deficit_carried);
 
+  // -- Online health recorders (serve/health.hpp; engine-driven) -----------
+  /// Size the per-domain table and seed the capacity timeline at
+  /// (0, domains). Called once by the engine when the health layer is on.
+  void configure_domains(std::size_t domains);
+  void record_domain_dispatch(std::size_t domain, std::uint64_t detections,
+                              std::uint64_t escalations);
+  /// Domain state after a monitor transition; appends a capacity point
+  /// when the serving-domain count changed and counts
+  /// quarantine/readmission edges.
+  void record_domain_state(std::size_t domain, health::DomainState state,
+                           bool dead, util::Cycles at, std::size_t serving);
+  void record_scrub(std::size_t domain, const health::ScrubReport& report);
+  /// One relocated batch: `requests` members re-queued carrying `ops`.
+  void record_relocation(std::size_t requests, std::size_t ops);
+  void record_relocation_reject();
+  void record_degraded(std::size_t ops);
+
   /// Consistent point-in-time view; callable while serving.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -127,6 +183,18 @@ class Metrics {
   std::vector<double> latency_samples_;
   std::vector<double> batch_size_samples_;
   std::map<std::string, MetricsSnapshot::AppCounts> per_app_;
+
+  // -- Online health state --------------------------------------------------
+  std::vector<MetricsSnapshot::DomainSnapshot> domains_;
+  std::uint64_t scrub_passes_ = 0;
+  util::Cycles scrub_cycles_ = 0;
+  double scrub_energy_pj_ = 0.0;
+  std::uint64_t scrub_repaired_bits_ = 0;
+  std::uint64_t relocated_requests_ = 0, relocated_ops_ = 0;
+  std::uint64_t relocated_batches_ = 0, relocation_rejects_ = 0;
+  std::uint64_t degraded_batches_ = 0, degraded_ops_ = 0;
+  std::vector<MetricsSnapshot::CapacityPoint> capacity_timeline_;
+  std::size_t min_serving_domains_ = 0;
 };
 
 }  // namespace apim::serve

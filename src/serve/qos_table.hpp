@@ -65,6 +65,6 @@ class QosTable {
 [[nodiscard]] QosTable build_qos_table(std::span<const std::string> apps,
                                        std::size_t elements,
                                        std::uint64_t seed,
-                                       const core::AccuracyTuner& tuner = {});
+                                       const core::AccuracyTuner& tuner = core::AccuracyTuner());
 
 }  // namespace apim::serve

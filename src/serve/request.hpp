@@ -97,6 +97,11 @@ struct Response {
   std::size_t batch_requests = 0;
   /// This request's share of the batch energy (proportional to op count).
   double energy_pj = 0.0;
+  /// Times the health layer re-queued this request off a failing fault
+  /// domain (whole-domain failure mid-flight, or a batch whose results
+  /// could not be verified); 0 without the health layer. The energy and
+  /// latency above cover every attempt.
+  std::uint64_t relocations = 0;
 
   /// Simulated queue-to-completion latency in cycles.
   [[nodiscard]] util::Cycles latency_cycles() const noexcept {

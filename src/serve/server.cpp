@@ -9,6 +9,7 @@
 #include <optional>
 #include <queue>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -25,6 +26,12 @@ ServerConfig ServerConfig::from_chip(const core::ApimChip& chip) {
   cfg.streams = chip.command_streams();
   cfg.lanes_per_stream = chip.lanes_per_stream();
   cfg.device = chip.make_config();
+  // Health-layer scrub geometry follows the chip: march the per-block
+  // scratch rows, repair by remapping into the spare rows (two functional
+  // output bits — one per unit — clear per spare row).
+  cfg.health.scrub_rows = chip.geometry().scratch_rows_per_block;
+  cfg.health.scrub_cols = chip.geometry().cols;
+  cfg.health.spare_bits_per_scrub = chip.geometry().spare_rows_per_block * 2;
   return cfg;
 }
 
@@ -48,6 +55,10 @@ SchedulerConfig scheduler_config(const ServerConfig& cfg) {
       cfg.drr_quantum_ops != 0 ? cfg.drr_quantum_ops : cfg.batch_op_budget();
   s.default_weight = cfg.default_tenant_weight;
   s.weights = cfg.tenant_weights;
+  if (cfg.health.enabled) {
+    s.weights[health::kScrubTenant] =
+        std::max<std::uint32_t>(1, cfg.health.scrub_weight);
+  }
   return s;
 }
 
@@ -71,6 +82,16 @@ struct PendingReq {
 /// Single-threaded by design: host parallelism lives INSIDE dispatches
 /// (serve/executor.hpp), which keeps the event order — and therefore every
 /// timestamp and metric — independent of the host worker count.
+///
+/// Fault domains: each stream is one health fault domain. With the health
+/// layer OFF and no fault schedule the engine is bit-identical to the
+/// pre-health runtime (streams are anonymous capacity; per-domain state is
+/// never consulted). With a fault schedule, each domain carries its own
+/// LaneFaultTable so injected decay is local to the stream it hit. With
+/// the health layer ON, dispatch reliability counters feed the
+/// HealthMonitor, scrub batches ride the DRR scheduler, quarantined
+/// domains drain (in-flight work relocates) and re-earn admission through
+/// off-line re-tests.
 class Engine {
  public:
   Engine(const ServerConfig& cfg, QosTable& table, Metrics& metrics)
@@ -79,9 +100,26 @@ class Engine {
         metrics_(metrics),
         batcher_(cfg.batch_window, cfg.batch_op_budget()),
         sched_(scheduler_config(cfg)),
-        free_streams_(cfg.streams) {
+        busy_(cfg.streams, false),
+        track_domains_(cfg.health.enabled ||
+                       !cfg.health.fault_schedule.empty()),
+        monitor_(cfg.health.enabled ? cfg.streams : 0, cfg.health) {
     assert(cfg_.streams >= 1 && cfg_.lanes_per_stream >= 1);
     assert(cfg_.queue_capacity >= 1);
+    if (track_domains_)
+      domain_faults_.assign(cfg_.streams, cfg_.device.reliability.faults);
+    if (health_on()) {
+      scrub_queued_.assign(cfg_.streams, false);
+      repair_at_.assign(cfg_.streams, 0);
+      next_scrub_at_ = cfg_.health.scrub_interval;
+      metrics_.configure_domains(cfg_.streams);
+    }
+    fault_events_ = cfg_.health.fault_schedule;
+    std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                     [](const health::DomainFaultEvent& a,
+                        const health::DomainFaultEvent& b) {
+                       return a.at < b.at;
+                     });
   }
 
   std::function<void(PendingReq&)> on_finalize;
@@ -127,16 +165,38 @@ class Engine {
       consider(arrivals_.top().first);
     if (const auto close = batcher_.next_close()) consider(*close);
     for (const InFlight& f : inflight_) consider(f.completion);
+    if (track_domains_ && next_fault_event_ < fault_events_.size())
+      consider(std::max(fault_events_[next_fault_event_].at, now_));
+    if (health_on()) {
+      for (const util::Cycles at : repair_at_)
+        if (at != 0) consider(at);
+      // Preventive scrub only while tenant work keeps the clock alive;
+      // otherwise a drained engine would march forever.
+      if (cfg_.health.scrub_interval > 0 && tenant_work_pending() &&
+          scrub_candidate()) {
+        consider(std::max(next_scrub_at_, now_));
+      }
+    }
     if (!next) {
       // Belt and braces: a closed batch with a free stream has no timer.
-      if (sched_.has_work() && free_streams_ > 0) {
+      if (sched_.has_work() && free_serving_count() > 0) {
         try_dispatch();
+        return true;
+      }
+      // All domains quarantined with no repair pending: queued and
+      // blocked work can never be served — shed it so every request
+      // still finalizes (the conservation contract).
+      if (health_on() && monitor_.serving_count() == 0 &&
+          shed_stranded()) {
         return true;
       }
       return false;
     }
     if (*next > now_) now_ = *next;
     complete_due();
+    apply_fault_events();
+    run_repairs_due();
+    maybe_enqueue_scrub();
     admit_due();
     for (ClosedBatch& b : batcher_.close_due(now_))
       enqueue_closed(std::move(b));
@@ -155,12 +215,104 @@ class Engine {
     std::uint64_t seq = 0;
     std::vector<std::uint64_t> members;
     std::string app;  ///< Tenant charged for the stream (share caps).
+    std::size_t domain = 0;  ///< Stream/fault domain it occupies.
+    bool scrub = false;      ///< Background march pass, no members.
+    /// Results could not be verified (retry ladder exhausted on every
+    /// redundancy domain): members re-queue instead of finalizing.
+    bool relocate = false;
+    std::uint64_t detections = 0;   ///< Dispatch residue detections.
+    std::uint64_t escalations = 0;  ///< Dispatch ladder exhaustions.
+    health::ScrubReport scrub_report{};
   };
+
+  [[nodiscard]] bool health_on() const noexcept {
+    return cfg_.health.enabled;
+  }
+
+  [[nodiscard]] bool domain_serving(std::size_t d) const {
+    return !health_on() || monitor_.serving(d);
+  }
+
+  /// Lowest free serving domain. With health off every domain serves, so
+  /// "is any stream free" degenerates to the legacy free-stream counter.
+  [[nodiscard]] std::optional<std::size_t> free_domain() const {
+    for (std::size_t d = 0; d < busy_.size(); ++d)
+      if (!busy_[d] && domain_serving(d)) return d;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t free_serving_count() const {
+    std::size_t n = 0;
+    for (std::size_t d = 0; d < busy_.size(); ++d)
+      if (!busy_[d] && domain_serving(d)) ++n;
+    return n;
+  }
+
+  /// Is there tenant work anywhere (arrivals, batching, queued, in
+  /// flight)? Health housekeeping timers only tick alongside it.
+  [[nodiscard]] bool tenant_work_pending() const {
+    if (!arrivals_.empty() || batcher_.pending_requests() > 0 ||
+        sched_.pending_requests() > 0) {
+      return true;
+    }
+    for (const InFlight& f : inflight_)
+      if (!f.scrub) return true;
+    return false;
+  }
+
+  /// Some serving domain has no scrub pass queued or in flight.
+  [[nodiscard]] bool scrub_candidate() const {
+    for (std::size_t d = 0; d < cfg_.streams; ++d)
+      if (monitor_.serving(d) && !scrub_queued_[d]) return true;
+    return false;
+  }
+
+  /// Admission queue capacity scaled to live serving capacity: losing
+  /// domains to quarantine shrinks what the server will accept.
+  [[nodiscard]] std::size_t effective_capacity() const {
+    if (!health_on()) return cfg_.queue_capacity;
+    const std::size_t serving = monitor_.serving_count();
+    if (serving >= cfg_.streams) return cfg_.queue_capacity;
+    if (serving == 0) return 0;
+    return std::max<std::size_t>(
+        1, cfg_.queue_capacity * serving / cfg_.streams);
+  }
+
+  /// Under degraded capacity the health mode decides how the shrunken
+  /// queue treats overflow: kBlock holds arrivals, anything else sheds.
+  [[nodiscard]] AdmissionPolicy effective_admission() const {
+    if (!health_on() || monitor_.serving_count() >= cfg_.streams)
+      return cfg_.admission;
+    return cfg_.health.mode == health::DegradeMode::kBlock
+               ? AdmissionPolicy::kBlock
+               : AdmissionPolicy::kReject;
+  }
 
   [[nodiscard]] bool admission_open() const noexcept {
     return !enforce_capacity ||
-           cfg_.admission == AdmissionPolicy::kReject ||
-           queue_depth() < cfg_.queue_capacity;
+           effective_admission() == AdmissionPolicy::kReject ||
+           queue_depth() < effective_capacity();
+  }
+
+  /// Device config a dispatch on domain `d` sees: the base config with
+  /// the domain's own fault table (domains decay independently).
+  [[nodiscard]] const core::ApimConfig& device_for(std::size_t d) {
+    if (!track_domains_) return cfg_.device;
+    scratch_device_ = cfg_.device;
+    scratch_device_.reliability.faults = domain_faults_[d];
+    return scratch_device_;
+  }
+
+  /// Redundancy domains a fault table must cover: the vote needs three,
+  /// the retry ladder max_retries + 1.
+  [[nodiscard]] std::size_t fault_table_domains() const noexcept {
+    return std::max<std::size_t>(
+        3, static_cast<std::size_t>(cfg_.device.reliability.max_retries) + 1);
+  }
+
+  void note_domain(std::size_t d) {
+    metrics_.record_domain_state(d, monitor_.state(d), monitor_.dead(d),
+                                 now_, monitor_.serving_count());
   }
 
   void finalize(PendingReq& p, RequestStatus status, util::Cycles when) {
@@ -195,8 +347,9 @@ class Engine {
 
   void admit_due() {
     while (!arrivals_.empty() && arrivals_.top().first <= now_) {
-      if (enforce_capacity && cfg_.admission == AdmissionPolicy::kBlock &&
-          queue_depth() >= cfg_.queue_capacity) {
+      if (enforce_capacity &&
+          effective_admission() == AdmissionPolicy::kBlock &&
+          queue_depth() >= effective_capacity()) {
         break;  // Head-of-line blocks; later arrivals wait behind it.
       }
       const std::uint64_t id = arrivals_.top().second;
@@ -207,7 +360,7 @@ class Engine {
         finalize(p, RequestStatus::kInvalid, now_);
         continue;
       }
-      if (enforce_capacity && queue_depth() >= cfg_.queue_capacity) {
+      if (enforce_capacity && queue_depth() >= effective_capacity()) {
         finalize(p, RequestStatus::kRejected, now_);
         continue;
       }
@@ -217,68 +370,292 @@ class Engine {
     }
   }
 
-  void try_dispatch() {
-    while (free_streams_ > 0) {
-      std::optional<DispatchPick> pick = sched_.next(now_);
-      if (!pick) break;
-      ClosedBatch batch = std::move(pick->batch);
+  // -- Fault schedule / health housekeeping ---------------------------------
 
-      // Deadline check at dispatch: members whose (absolute) deadline has
-      // passed expire without executing — no lanes, no energy. Their ops
-      // are refunded to the tenant's deficit: DRR rates EXECUTED ops.
-      std::vector<std::uint64_t> live;
-      live.reserve(batch.members.size());
-      std::size_t expired_ops = 0;
-      for (const std::uint64_t id : batch.members) {
-        PendingReq& p = at(id);
-        const util::Cycles deadline =
-            p.req.deadline != 0 ? p.req.deadline : cfg_.default_deadline;
-        if (deadline != 0 && now_ > p.req.arrival + deadline) {
-          expired_ops += p.req.operands.size();
-          finalize(p, RequestStatus::kExpired, now_);
-        } else {
-          live.push_back(id);
-        }
+  void apply_fault_events() {
+    while (next_fault_event_ < fault_events_.size() &&
+           fault_events_[next_fault_event_].at <= now_) {
+      const health::DomainFaultEvent& e = fault_events_[next_fault_event_++];
+      if (e.domain >= cfg_.streams) continue;
+      using Kind = health::DomainFaultEvent::Kind;
+      switch (e.kind) {
+        case Kind::kSetFaults:
+          domain_faults_[e.domain] = e.faults;
+          break;
+        case Kind::kClear:
+          domain_faults_[e.domain] = reliability::LaneFaultTable{};
+          break;
+        case Kind::kKill:
+          domain_faults_[e.domain] = health::whole_domain_failure(
+              cfg_.lanes_per_stream, fault_table_domains());
+          if (health_on()) {
+            monitor_.mark_dead(e.domain);
+            const bool was_serving = monitor_.serving(e.domain);
+            monitor_.quarantine(e.domain);
+            if (was_serving) on_quarantined(e.domain);
+            note_domain(e.domain);
+          }
+          break;
       }
-      if (expired_ops > 0) sched_.refund(pick->app, expired_ops);
-      if (live.empty()) continue;  // Nothing to run; stream stays free.
-
-      std::vector<std::span<const std::pair<std::uint64_t, std::uint64_t>>>
-          spans;
-      spans.reserve(live.size());
-      std::size_t total_ops = 0;
-      for (const std::uint64_t id : live) {
-        spans.emplace_back(at(id).req.operands);
-        total_ops += at(id).req.operands.size();
-      }
-      BatchExecution exec =
-          execute_batch(spans, batch.key, cfg_.lanes_per_stream, cfg_.device);
-      const util::Cycles busy = cfg_.dispatch_cycles + exec.makespan;
-      const util::Cycles completion = now_ + busy;
-      metrics_.record_dispatch(live.size(), total_ops, exec.lanes_used, busy,
-                               exec.energy_pj, exec.stats);
-      metrics_.record_tenant_dispatch(pick->app, pick->weight, total_ops,
-                                      pick->queued_for,
-                                      pick->deficit_carried);
-      const double energy_per_op =
-          total_ops == 0 ? 0.0
-                         : exec.energy_pj / static_cast<double>(total_ops);
-      for (std::size_t m = 0; m < live.size(); ++m) {
-        PendingReq& p = at(live[m]);
-        p.resp.values = std::move(exec.values[m]);
-        p.resp.dispatch = now_;
-        p.resp.completion = completion;
-        p.resp.batch_requests = live.size();
-        // += so an escalated rerun's energy adds to the first pass.
-        p.resp.energy_pj +=
-            energy_per_op * static_cast<double>(p.req.operands.size());
-      }
-      --free_streams_;
-      sched_.stream_acquired(pick->app);
-      inflight_.push_back(InFlight{completion, next_dispatch_seq_++,
-                                   std::move(live), std::move(pick->app)});
     }
   }
+
+  /// A domain just entered quarantine: abort its in-flight work (members
+  /// relocate, a scrub pass is simply dropped) and schedule off-line
+  /// repair unless the monitor has given up on it.
+  void on_quarantined(std::size_t d) {
+    for (std::size_t i = 0; i < inflight_.size();) {
+      if (inflight_[i].domain != d) {
+        ++i;
+        continue;
+      }
+      InFlight aborted = std::move(inflight_[i]);
+      inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
+      busy_[d] = false;
+      sched_.stream_released(aborted.app);
+      if (aborted.scrub) {
+        scrub_queued_[d] = false;
+        continue;
+      }
+      relocate_members(aborted.members);
+    }
+    if (!monitor_.gave_up(d))
+      repair_at_[d] = now_ + cfg_.health.repair_interval;
+  }
+
+  /// Re-queue a dead batch's members onto healthy capacity. A request out
+  /// of relocation budget is rejected (bounds livelock under chaos).
+  void relocate_members(const std::vector<std::uint64_t>& members) {
+    std::size_t moved = 0;
+    std::size_t moved_ops = 0;
+    for (const std::uint64_t id : members) {
+      PendingReq& p = at(id);
+      if (p.finalized) continue;
+      if (p.resp.relocations >= cfg_.health.max_relocations) {
+        metrics_.record_relocation_reject();
+        finalize(p, RequestStatus::kRejected, now_);
+        continue;
+      }
+      ++p.resp.relocations;
+      ++moved;
+      moved_ops += p.req.operands.size();
+      p.resp.values.clear();  // Unverified results are withheld.
+      join_batcher(p);
+    }
+    if (moved > 0) metrics_.record_relocation(moved, moved_ops);
+    metrics_.record_queue_depth(queue_depth());
+  }
+
+  /// Off-line re-tests of quarantined domains: they hold no stream, so
+  /// repairs are pure timed events.
+  void run_repairs_due() {
+    if (!health_on()) return;
+    for (std::size_t d = 0; d < repair_at_.size(); ++d) {
+      if (repair_at_[d] == 0 || repair_at_[d] > now_) continue;
+      repair_at_[d] = 0;
+      health::ScrubReport r = health::scrub_domain(
+          domain_faults_[d], monitor_.dead(d), cfg_.lanes_per_stream,
+          cfg_.health, cfg_.device.energy);
+      monitor_.on_scrub(d, r);
+      metrics_.record_scrub(d, r);
+      note_domain(d);
+      if (monitor_.state(d) == health::DomainState::kQuarantined &&
+          !monitor_.gave_up(d)) {
+        repair_at_[d] = now_ + cfg_.health.repair_interval;
+      }
+    }
+  }
+
+  /// Enqueue the next preventive scrub pass (one serving domain,
+  /// round-robin) as a kScrubTenant batch through the DRR scheduler.
+  void maybe_enqueue_scrub() {
+    if (!health_on() || cfg_.health.scrub_interval == 0) return;
+    if (now_ < next_scrub_at_ || !tenant_work_pending()) return;
+    // Advance past now unconditionally: missed slots are dropped, not
+    // replayed (replaying them would livelock a saturated server).
+    while (next_scrub_at_ <= now_)
+      next_scrub_at_ += cfg_.health.scrub_interval;
+    for (std::size_t i = 0; i < cfg_.streams; ++i) {
+      const std::size_t d = (scrub_cursor_ + i) % cfg_.streams;
+      if (!monitor_.serving(d) || scrub_queued_[d]) continue;
+      scrub_cursor_ = d + 1;
+      ClosedBatch b;
+      b.key.app = health::kScrubTenant;
+      b.ops = cfg_.batch_op_budget();
+      b.closed_at = now_;
+      b.scrub_domain = d;
+      scrub_queued_[d] = true;
+      enqueue_closed(std::move(b));
+      return;
+    }
+  }
+
+  /// Nothing can ever serve again (every domain quarantined, no repair
+  /// pending): reject all queued batches and blocked arrivals so the
+  /// engine drains. Returns true when it finalized anything.
+  bool shed_stranded() {
+    for (const util::Cycles at : repair_at_)
+      if (at != 0) return false;
+    bool any = false;
+    while (std::optional<DispatchPick> pick = sched_.next(now_)) {
+      if (pick->batch.scrub_domain != kNotScrub) {
+        if (pick->batch.scrub_domain < scrub_queued_.size())
+          scrub_queued_[pick->batch.scrub_domain] = false;
+        continue;
+      }
+      for (const std::uint64_t id : pick->batch.members) {
+        PendingReq& p = at(id);
+        if (p.finalized) continue;
+        finalize(p, RequestStatus::kRejected, now_);
+        any = true;
+      }
+    }
+    while (!arrivals_.empty()) {
+      const std::uint64_t id = arrivals_.top().second;
+      arrivals_.pop();
+      PendingReq& p = at(id);
+      metrics_.record_submitted(p.req.arrival);
+      finalize(p, RequestStatus::kRejected, std::max(now_, p.req.arrival));
+      any = true;
+    }
+    return any;
+  }
+
+  // -- Dispatch -------------------------------------------------------------
+
+  void try_dispatch() {
+    // Scrub passes must run on their target stream; one whose target is
+    // busy is held here and re-queued after the loop (re-queueing inside
+    // the loop would pick it again immediately — a livelock).
+    std::vector<ClosedBatch> deferred_scrubs;
+    while (true) {
+      const std::optional<std::size_t> domain = free_domain();
+      if (!domain) break;
+      std::optional<DispatchPick> pick = sched_.next(now_);
+      if (!pick) break;
+      if (pick->batch.scrub_domain != kNotScrub) {
+        const std::size_t target = pick->batch.scrub_domain;
+        if (!health_on() || target >= cfg_.streams ||
+            !monitor_.serving(target)) {
+          // Target left service since the pass was queued: moot.
+          if (target < scrub_queued_.size()) scrub_queued_[target] = false;
+          continue;
+        }
+        if (busy_[target]) {
+          deferred_scrubs.push_back(std::move(pick->batch));
+          continue;
+        }
+        dispatch_scrub(target);
+        continue;
+      }
+      dispatch_batch(*domain, std::move(*pick));
+    }
+    for (ClosedBatch& b : deferred_scrubs) enqueue_closed(std::move(b));
+  }
+
+  void dispatch_scrub(std::size_t d) {
+    // The march cost is deterministic, so the repair takes effect at
+    // dispatch; the domain is busy with its own pass until completion,
+    // so no tenant batch can observe the table mid-scrub.
+    const health::ScrubReport r = health::scrub_domain(
+        domain_faults_[d], monitor_.dead(d), cfg_.lanes_per_stream,
+        cfg_.health, cfg_.device.energy);
+    const util::Cycles busy = cfg_.dispatch_cycles + r.cycles;
+    busy_[d] = true;
+    sched_.stream_acquired(health::kScrubTenant);
+    InFlight f;
+    f.completion = now_ + busy;
+    f.seq = next_dispatch_seq_++;
+    f.app = health::kScrubTenant;
+    f.domain = d;
+    f.scrub = true;
+    f.scrub_report = r;
+    inflight_.push_back(std::move(f));
+  }
+
+  void dispatch_batch(std::size_t d, DispatchPick&& pick) {
+    ClosedBatch batch = std::move(pick.batch);
+
+    // Deadline check at dispatch: members whose (absolute) deadline has
+    // passed expire without executing — no lanes, no energy. Their ops
+    // are refunded to the tenant's deficit: DRR rates EXECUTED ops.
+    std::vector<std::uint64_t> live;
+    live.reserve(batch.members.size());
+    std::size_t expired_ops = 0;
+    for (const std::uint64_t id : batch.members) {
+      PendingReq& p = at(id);
+      const util::Cycles deadline =
+          p.req.deadline != 0 ? p.req.deadline : cfg_.default_deadline;
+      if (deadline != 0 && now_ > p.req.arrival + deadline) {
+        expired_ops += p.req.operands.size();
+        finalize(p, RequestStatus::kExpired, now_);
+      } else {
+        live.push_back(id);
+      }
+    }
+    if (expired_ops > 0) sched_.refund(pick.app, expired_ops);
+    if (live.empty()) return;  // Nothing to run; stream stays free.
+
+    std::vector<std::span<const std::pair<std::uint64_t, std::uint64_t>>>
+        spans;
+    spans.reserve(live.size());
+    std::size_t total_ops = 0;
+    for (const std::uint64_t id : live) {
+      spans.emplace_back(at(id).req.operands);
+      total_ops += at(id).req.operands.size();
+    }
+    // Graceful degradation: a suspect domain's traffic is upgraded to the
+    // configured reliability policy (never downgraded).
+    BatchKey exec_key = batch.key;
+    bool degraded = false;
+    if (health_on() && cfg_.health.mode == health::DegradeMode::kDegrade &&
+        monitor_.state(d) == health::DomainState::kSuspect &&
+        static_cast<int>(exec_key.policy) <
+            static_cast<int>(cfg_.health.degrade_policy)) {
+      exec_key.policy = cfg_.health.degrade_policy;
+      degraded = true;
+    }
+    BatchExecution exec =
+        execute_batch(spans, exec_key, cfg_.lanes_per_stream, device_for(d));
+    const util::Cycles busy = cfg_.dispatch_cycles + exec.makespan;
+    const util::Cycles completion = now_ + busy;
+    metrics_.record_dispatch(live.size(), total_ops, exec.lanes_used, busy,
+                             exec.energy_pj, exec.stats);
+    metrics_.record_tenant_dispatch(pick.app, pick.weight, total_ops,
+                                    pick.queued_for, pick.deficit_carried);
+    if (degraded) metrics_.record_degraded(total_ops);
+    // An exhausted retry ladder means the device could not produce a
+    // verified result for some op: with the health layer on, the whole
+    // batch relocates at completion instead of returning suspect values.
+    const bool relocate = health_on() && exec.stats.escalations > 0;
+    const double energy_per_op =
+        total_ops == 0 ? 0.0
+                       : exec.energy_pj / static_cast<double>(total_ops);
+    for (std::size_t m = 0; m < live.size(); ++m) {
+      PendingReq& p = at(live[m]);
+      if (!relocate) p.resp.values = std::move(exec.values[m]);
+      p.resp.dispatch = now_;
+      p.resp.completion = completion;
+      p.resp.batch_requests = live.size();
+      // += so an escalated rerun's energy adds to the first pass.
+      p.resp.energy_pj +=
+          energy_per_op * static_cast<double>(p.req.operands.size());
+    }
+    busy_[d] = true;
+    sched_.stream_acquired(pick.app);
+    InFlight f;
+    f.completion = completion;
+    f.seq = next_dispatch_seq_++;
+    f.members = std::move(live);
+    f.app = std::move(pick.app);
+    f.domain = d;
+    f.relocate = relocate;
+    f.detections = exec.stats.faults_detected;
+    f.escalations = exec.stats.escalations;
+    inflight_.push_back(std::move(f));
+  }
+
+  // -- Completion -----------------------------------------------------------
 
   void complete_due() {
     for (;;) {
@@ -296,11 +673,39 @@ class Engine {
       InFlight done = std::move(inflight_[best]);
       inflight_.erase(inflight_.begin() +
                       static_cast<std::ptrdiff_t>(best));
-      ++free_streams_;
+      busy_[done.domain] = false;
       sched_.stream_released(done.app);
+
+      if (done.scrub) {
+        scrub_queued_[done.domain] = false;
+        monitor_.on_scrub(done.domain, done.scrub_report);
+        metrics_.record_scrub(done.domain, done.scrub_report);
+        // A dirty pass on a serving domain quarantines it on the spot.
+        if (monitor_.state(done.domain) ==
+            health::DomainState::kQuarantined) {
+          on_quarantined(done.domain);
+        }
+        note_domain(done.domain);
+        continue;
+      }
+
+      if (health_on()) {
+        metrics_.record_domain_dispatch(done.domain, done.detections,
+                                        done.escalations);
+        const bool was_serving = monitor_.serving(done.domain);
+        monitor_.on_dispatch(done.domain, done.detections, done.escalations);
+        if (was_serving && !monitor_.serving(done.domain))
+          on_quarantined(done.domain);
+        note_domain(done.domain);
+      }
+      if (done.relocate) {
+        relocate_members(done.members);
+        continue;
+      }
 
       for (const std::uint64_t id : done.members) {
         PendingReq& p = at(id);
+        if (p.finalized) continue;  // Relocation budget ran out mid-abort.
         std::vector<double> golden, test;
         golden.reserve(p.req.operands.size());
         test.reserve(p.req.operands.size());
@@ -335,8 +740,21 @@ class Engine {
   Metrics& metrics_;
   DynamicBatcher batcher_;
   DrrScheduler sched_;
-  std::size_t free_streams_;
+  std::vector<bool> busy_;  ///< Per stream/domain: dispatch in flight.
   util::Cycles now_ = 0;
+
+  // -- Fault-domain state ---------------------------------------------------
+  /// Domains carry per-stream fault tables (health on OR a schedule set).
+  bool track_domains_ = false;
+  health::HealthMonitor monitor_;  ///< Empty unless health is enabled.
+  std::vector<reliability::LaneFaultTable> domain_faults_;
+  std::vector<health::DomainFaultEvent> fault_events_;  ///< Sorted by at.
+  std::size_t next_fault_event_ = 0;
+  std::vector<bool> scrub_queued_;   ///< Pass queued or in flight.
+  std::vector<util::Cycles> repair_at_;  ///< 0 = no re-test scheduled.
+  util::Cycles next_scrub_at_ = 0;
+  std::size_t scrub_cursor_ = 0;
+  core::ApimConfig scratch_device_{};  ///< device_for() staging copy.
 
   std::vector<std::unique_ptr<PendingReq>> reqs_;
   /// (arrival, id) min-heap: earliest arrival first, id tie-break.

@@ -38,6 +38,7 @@
 
 #include "core/chip.hpp"
 #include "core/config.hpp"
+#include "serve/health.hpp"
 #include "serve/metrics.hpp"
 #include "serve/qos_table.hpp"
 #include "serve/request.hpp"
@@ -100,6 +101,13 @@ struct ServerConfig {
   /// Base device configuration: energy model, backend, fault state and
   /// retry budget. Width/relax/policy are overridden per batch shape.
   core::ApimConfig device{};
+
+  /// Online fault-domain health layer (serve/health.hpp): per-stream
+  /// state machine, background march-test scrub through the DRR
+  /// scheduler, quarantine with relocation, and graceful degradation.
+  /// Disabled by default; `health.fault_schedule` fires even when the
+  /// layer is disabled so the chaos bench can A/B identical injections.
+  health::HealthConfig health{};
 
   [[nodiscard]] std::size_t total_lanes() const noexcept {
     return streams * lanes_per_stream;

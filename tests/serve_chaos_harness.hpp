@@ -1,0 +1,212 @@
+// Chaos harness for the serving runtime's health layer: seeded fault
+// injection over a multi-tenant scenario, plus the corruption and
+// conservation oracles the chaos tests and bench/ext_chaos.cpp share.
+//
+// The harness builds a HealthConfig::fault_schedule from one chaos spec —
+// per-stream stuck-at decay installed at cycle 0 and (optionally) a
+// whole-domain kill mid-serve — and runs the SAME schedule with the
+// health layer on and off. Everything derives from the spec's seeds, so a
+// chaos run is as reproducible (and host-thread-invariant) as any other
+// serving trace. Like tests/serve_harness.hpp this header is gtest-free:
+// oracles return "" on success or a human-readable violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve_harness.hpp"
+#include "serve/health.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace apim::serve_harness {
+
+/// One chaos experiment: a serving scenario plus the silicon decay to
+/// inject into it.
+struct ChaosSpec {
+  Scenario scenario;
+
+  /// Per-cell stuck-at probability of the ambient decay installed on
+  /// every stream at cycle 0 (0 disables). Each functional unit models
+  /// `cells_per_unit` scratch cells; a stuck cell projects onto one
+  /// uniformly drawn output bit, exactly like the fault campaign's
+  /// crossbar projection (reliability/campaign.hpp).
+  double stuck_rate = 0.0;
+  std::size_t cells_per_unit = 512;
+  std::uint64_t fault_seed = 0xFA177;
+
+  /// Transient (soft) flip rate per executed op on the decayed streams.
+  double transient_rate = 0.0;
+
+  /// Whole-domain failure of `kill_domain` at virtual time `kill_at`
+  /// (0 = no kill): every (lane, redundancy domain) gets a stuck output
+  /// bit, the health layer's catastrophic case.
+  util::Cycles kill_at = 0;
+  std::size_t kill_domain = 0;
+
+  /// Redundancy domains per lane the sampled tables cover (the retry
+  /// ladder and the vote execute on domains > 0, whose decay must be
+  /// independent for redundancy to help).
+  std::size_t fault_domains = 3;
+};
+
+/// Output bit-space of a unit: a `width`-bit multiply produces 2w bits,
+/// a vector add w+1.
+[[nodiscard]] inline unsigned unit_out_bits(bool is_mul, unsigned width) {
+  return is_mul ? 2 * width : width + 1;
+}
+
+/// Sample one stream's ambient stuck-at decay: independent per-cell
+/// Bernoulli draws per (lane, redundancy domain, unit), each hit
+/// projected onto a uniform output bit with a uniform stuck value. A
+/// unit's stuck cells collapse onto ONE projected output bit (its worst
+/// cell): every op reuses the same scratch rows, so co-located defects
+/// corrupt the same result bit. The single-bit delta is what makes the
+/// mod-3 residue check airtight — multi-bit deltas could alias to a
+/// multiple of three and slip through, which is a different (and
+/// undetectable-by-design) failure mode than this harness injects.
+[[nodiscard]] inline reliability::LaneFaultTable sample_stuck_table(
+    const ChaosSpec& spec, std::size_t lanes, unsigned width,
+    std::uint64_t seed) {
+  reliability::LaneFaultTable table(lanes, spec.fault_domains);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t dom = 0; dom < spec.fault_domains; ++dom) {
+      for (const bool is_mul : {true, false}) {
+        bool unit_hit = false;
+        for (std::size_t c = 0; c < spec.cells_per_unit; ++c) {
+          if (rng.next_double() >= spec.stuck_rate) continue;
+          if (unit_hit) continue;  // Collapses onto the same bit.
+          unit_hit = true;
+          const unsigned bit = static_cast<unsigned>(
+              rng.next_below(unit_out_bits(is_mul, width)));
+          const bool value = rng.next_below(2) == 1;
+          if (is_mul) {
+            table.add_mul_stuck(lane, dom, bit, value);
+          } else {
+            table.add_add_stuck(lane, dom, bit, value);
+          }
+        }
+      }
+    }
+  }
+  return table;
+}
+
+/// Widest tenant word in the scenario (the sampled bit-space must cover
+/// the widest results any stream will produce).
+[[nodiscard]] inline unsigned max_tenant_width(const Scenario& s) {
+  unsigned w = 4;
+  for (const TenantSpec& t : s.tenants) w = std::max(w, t.width);
+  return w;
+}
+
+/// The chaos fault schedule for `spec`: ambient decay on every stream at
+/// cycle 0 (per-stream seeds, so streams decay independently), then the
+/// optional mid-serve kill.
+[[nodiscard]] inline std::vector<serve::health::DomainFaultEvent>
+chaos_schedule(const ChaosSpec& spec) {
+  using Event = serve::health::DomainFaultEvent;
+  std::vector<Event> schedule;
+  const unsigned width = max_tenant_width(spec.scenario);
+  const std::size_t lanes = spec.scenario.server.lanes_per_stream;
+  if (spec.stuck_rate > 0.0 || spec.transient_rate > 0.0) {
+    for (std::size_t d = 0; d < spec.scenario.server.streams; ++d) {
+      std::uint64_t state = spec.fault_seed ^ (0x5EEDull * (d + 1));
+      Event e;
+      e.at = 0;
+      e.domain = d;
+      e.kind = Event::Kind::kSetFaults;
+      e.faults =
+          sample_stuck_table(spec, lanes, width, util::splitmix64(state));
+      if (spec.transient_rate > 0.0)
+        e.faults.set_transient(spec.transient_rate, util::splitmix64(state));
+      schedule.push_back(std::move(e));
+    }
+  }
+  if (spec.kill_at != 0) {
+    Event e;
+    e.at = spec.kill_at;
+    e.domain = spec.kill_domain;
+    e.kind = Event::Kind::kKill;
+    schedule.push_back(std::move(e));
+  }
+  return schedule;
+}
+
+/// Run the chaos experiment with the health layer on or off — the same
+/// injected decay either way (that is the A/B).
+[[nodiscard]] inline Outcome run_chaos(const ChaosSpec& spec,
+                                       bool health_enabled) {
+  Scenario s = spec.scenario;
+  s.server.health.enabled = health_enabled;
+  s.server.health.fault_schedule = chaos_schedule(spec);
+  return run_scenario(s);
+}
+
+/// Exact integer value of one op, mirroring the device's clamping. Widths
+/// are <= 32, so products fit uint64 exactly (doubles would not do).
+[[nodiscard]] inline std::uint64_t exact_value(const serve::Request& r,
+                                               std::size_t j) {
+  const std::uint64_t cap = util::mask_n(r.width);
+  const std::uint64_t a = std::min(r.operands[j].first, cap);
+  const std::uint64_t b = std::min(r.operands[j].second, cap);
+  return r.op == serve::OpKind::kMultiply ? a * b : a + b;
+}
+
+/// What the injected faults did to served values. "Corrupted" compares
+/// kOk responses against the host-exact results (valid for exact-mode
+/// tenants: relax_bits must be 0); "silent" counts corrupted responses
+/// whose QoS evaluation still accepted them — the failure mode the
+/// health layer exists to eliminate.
+struct CorruptionReport {
+  std::uint64_t ok = 0;         ///< kOk responses checked.
+  std::uint64_t corrupted = 0;  ///< Some value differs from exact.
+  std::uint64_t silent = 0;     ///< Corrupted yet QoS-accepted.
+  std::uint64_t relocated = 0;  ///< kOk responses that were relocated.
+};
+
+[[nodiscard]] inline CorruptionReport count_corruption(const Outcome& out) {
+  CorruptionReport rep;
+  for (std::size_t i = 0; i < out.responses.size(); ++i) {
+    const serve::Response& r = out.responses[i];
+    if (r.status != serve::RequestStatus::kOk) continue;
+    ++rep.ok;
+    if (r.relocations > 0) ++rep.relocated;
+    bool bad = false;
+    for (std::size_t j = 0; j < out.trace[i].operands.size(); ++j) {
+      if (r.values.size() <= j || r.values[j] != exact_value(out.trace[i], j)) {
+        bad = true;
+        break;
+      }
+    }
+    if (!bad) continue;
+    ++rep.corrupted;
+    if (r.qos.acceptable) ++rep.silent;
+  }
+  return rep;
+}
+
+/// Conservation under chaos: the base oracle plus the relocation ledger
+/// (every response-side relocation must appear in the snapshot and vice
+/// versa). Returns "" or the first violation.
+[[nodiscard]] inline std::string check_chaos_conservation(
+    const Outcome& out) {
+  if (std::string base = check_conservation(out); !base.empty()) return base;
+  std::uint64_t relocations = 0;
+  for (const serve::Response& r : out.responses) relocations += r.relocations;
+  if (relocations != out.snap.relocated_requests) {
+    std::ostringstream oss;
+    oss << "response relocations " << relocations
+        << " != snapshot relocated_requests " << out.snap.relocated_requests;
+    return oss.str();
+  }
+  if (out.snap.relocated_requests > 0 && out.snap.relocated_batches == 0)
+    return "relocated requests without a relocated batch";
+  return {};
+}
+
+}  // namespace apim::serve_harness

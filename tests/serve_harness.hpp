@@ -39,6 +39,8 @@ struct TenantSpec {
   double add_fraction = 0.0;
   util::Cycles deadline = 0;  ///< Relative; 0 = none.
   unsigned relax_bits = 0;    ///< QoS-table relax level for this app.
+  /// Fault-tolerance level this tenant's requests pay for.
+  reliability::ReliabilityPolicy policy = reliability::ReliabilityPolicy::kOff;
 };
 
 /// A complete serving scenario: tenants plus the server they share.
@@ -84,6 +86,7 @@ struct Outcome {
   gen.width = t.width;
   gen.add_fraction = t.add_fraction;
   gen.deadline = t.deadline;
+  gen.policy = t.policy;
   return serve::make_open_loop_trace(gen);
 }
 
@@ -236,6 +239,7 @@ struct Outcome {
                       x.dispatch == y.dispatch &&
                       x.completion == y.completion &&
                       x.batch_requests == y.batch_requests &&
+                      x.relocations == y.relocations &&
                       x.energy_pj == y.energy_pj;  // Bit-exact.
     if (!same) {
       oss << "response " << i << " differs (status " << to_string(x.status)

@@ -1,0 +1,338 @@
+// Tests of the serving runtime's online health layer (serve/health.hpp +
+// the engine hooks in serve/server.cpp): the per-domain state machine,
+// the march-test scrub/repair model, and end-to-end chaos runs — seeded
+// fault injection mid-serve with quarantine, relocation, degradation and
+// re-admission. Suites are named Serve* so scripts/check_tsan.sh's ctest
+// filter picks them up.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve_chaos_harness.hpp"
+#include "serve/health.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace apim;
+using namespace apim::serve_harness;
+namespace health = apim::serve::health;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(0); }
+};
+
+// -- HealthMonitor state machine --------------------------------------------
+
+TEST(ServeHealthMonitor, DetectionsSuspectAndCleanScrubRecovers) {
+  health::HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.suspect_detections = 4;
+  cfg.quarantine_detections = 100;
+  health::HealthMonitor mon(2, cfg);
+
+  mon.on_dispatch(0, 3, 0);
+  EXPECT_EQ(mon.state(0), health::DomainState::kHealthy);
+  mon.on_dispatch(0, 1, 0);  // Crosses the suspect threshold.
+  EXPECT_EQ(mon.state(0), health::DomainState::kSuspect);
+  EXPECT_TRUE(mon.serving(0));
+  EXPECT_EQ(mon.state(1), health::DomainState::kHealthy);
+
+  health::ScrubReport clean;
+  clean.clean = true;
+  EXPECT_FALSE(mon.on_scrub(0, clean));  // Not a readmission.
+  EXPECT_EQ(mon.state(0), health::DomainState::kHealthy);
+}
+
+TEST(ServeHealthMonitor, EscalationQuarantinesImmediately) {
+  health::HealthConfig cfg;
+  cfg.enabled = true;
+  health::HealthMonitor mon(3, cfg);
+  mon.on_dispatch(2, 0, 1);
+  EXPECT_EQ(mon.state(2), health::DomainState::kQuarantined);
+  EXPECT_FALSE(mon.serving(2));
+  EXPECT_EQ(mon.serving_count(), 2u);
+}
+
+TEST(ServeHealthMonitor, DetectionFloodQuarantines) {
+  health::HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.suspect_detections = 2;
+  cfg.quarantine_detections = 10;
+  health::HealthMonitor mon(1, cfg);
+  mon.on_dispatch(0, 6, 0);
+  EXPECT_EQ(mon.state(0), health::DomainState::kSuspect);
+  mon.on_dispatch(0, 4, 0);  // Accumulates to the quarantine threshold.
+  EXPECT_EQ(mon.state(0), health::DomainState::kQuarantined);
+}
+
+TEST(ServeHealthMonitor, ReadmissionNeedsCleanStreak) {
+  health::HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.readmit_clean_scrubs = 2;
+  cfg.max_repair_attempts = 10;
+  health::HealthMonitor mon(1, cfg);
+  mon.quarantine(0);
+
+  health::ScrubReport dirty;
+  dirty.clean = false;
+  health::ScrubReport clean;
+  clean.clean = true;
+
+  EXPECT_FALSE(mon.on_scrub(0, clean));  // Streak 1 of 2.
+  EXPECT_EQ(mon.state(0), health::DomainState::kQuarantined);
+  EXPECT_FALSE(mon.on_scrub(0, dirty));  // Streak resets.
+  EXPECT_FALSE(mon.on_scrub(0, clean));
+  EXPECT_TRUE(mon.on_scrub(0, clean));  // Streak 2 of 2: readmitted.
+  EXPECT_EQ(mon.state(0), health::DomainState::kHealthy);
+  EXPECT_EQ(mon.repair_attempts(0), 0u);
+}
+
+TEST(ServeHealthMonitor, GivesUpAfterMaxRepairAttempts) {
+  health::HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.max_repair_attempts = 2;
+  health::HealthMonitor mon(1, cfg);
+  mon.mark_dead(0);
+  mon.quarantine(0);
+  health::ScrubReport dirty;  // A dead domain never scrubs clean.
+  EXPECT_FALSE(mon.gave_up(0));
+  EXPECT_FALSE(mon.on_scrub(0, dirty));
+  EXPECT_FALSE(mon.gave_up(0));
+  EXPECT_FALSE(mon.on_scrub(0, dirty));
+  EXPECT_TRUE(mon.gave_up(0));
+}
+
+// -- Scrub / repair model ----------------------------------------------------
+
+TEST(ServeScrub, RepairStuckClearsInDeterministicOrder) {
+  reliability::LaneFaultTable table(2, 1);
+  table.add_mul_stuck(0, 0, 3, true);
+  table.add_add_stuck(0, 0, 1, false);
+  table.add_mul_stuck(1, 0, 5, true);
+  ASSERT_EQ(table.stuck_count(), 3u);
+  EXPECT_EQ(table.repair_stuck(2), 2u);  // Lane 0's two bits go first.
+  EXPECT_EQ(table.stuck_count(), 1u);
+  EXPECT_EQ(table.repair_stuck(10), 1u);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.repair_stuck(4), 0u);
+}
+
+TEST(ServeScrub, ScrubDomainFollowsTheMarchCostLaw) {
+  health::HealthConfig cfg;
+  cfg.scrub_rows = 8;
+  cfg.scrub_cols = 64;
+  cfg.spare_bits_per_scrub = 2;
+  device::EnergyModel em;
+  em.e_write_driver_pj = 0.05;
+  em.e_switch_pj = 0.10;
+  em.e_read_pj = 0.02;
+  reliability::LaneFaultTable table(4, 3);
+  table.add_mul_stuck(0, 0, 2, true);
+  table.add_mul_stuck(1, 1, 4, true);
+  table.add_add_stuck(2, 2, 0, false);
+
+  health::ScrubReport r = health::scrub_domain(table, false, 4, cfg, em);
+  EXPECT_EQ(r.stuck_found, 3u);
+  EXPECT_EQ(r.repaired, 2u);  // Capped by spare_bits_per_scrub.
+  EXPECT_FALSE(r.clean);
+  // March cost: 5 cycles per row over scrub_rows rows on each lane.
+  EXPECT_EQ(r.cycles, 8u * 4u * 5u);
+  EXPECT_GT(r.energy_pj, 0.0);
+
+  health::ScrubReport r2 = health::scrub_domain(table, false, 4, cfg, em);
+  EXPECT_EQ(r2.stuck_found, 1u);
+  EXPECT_EQ(r2.repaired, 1u);
+  EXPECT_TRUE(r2.clean);
+
+  // A dead domain never certifies clean, even with nothing left to fix.
+  health::ScrubReport r3 = health::scrub_domain(table, true, 4, cfg, em);
+  EXPECT_FALSE(r3.clean);
+}
+
+TEST(ServeScrub, WholeDomainFailureDefeatsEveryRedundancyDomain) {
+  const reliability::LaneFaultTable table = health::whole_domain_failure(3, 2);
+  // One stuck bit per (lane, domain) per unit: 3 lanes x 2 domains x 2.
+  EXPECT_EQ(table.stuck_count(), 3u * 2u * 2u);
+  // A single stuck-at-1 on bit 1 perturbs values by +-2 when it acts, so
+  // the mod-3 residue check always catches an actual corruption.
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    for (std::size_t dom = 0; dom < 2; ++dom) {
+      EXPECT_EQ(table.apply(lane, dom, true, 0, 16, 0, 0), 2u);
+      EXPECT_EQ(table.apply(lane, dom, false, 2, 16, 0, 0), 2u);
+    }
+  }
+}
+
+// -- End-to-end chaos --------------------------------------------------------
+
+/// A serving scenario sized so chaos runs finish fast: four streams,
+/// exact-mode tenants on the detect-and-repair reliability tier.
+ChaosSpec small_chaos_spec() {
+  ChaosSpec spec;
+  spec.scenario.seed = 20170604;
+  spec.scenario.server.streams = 4;
+  spec.scenario.server.lanes_per_stream = 8;
+  spec.scenario.server.batch_window = 400;
+  spec.scenario.server.dispatch_cycles = 32;
+  spec.scenario.server.queue_capacity = 256;
+  spec.scenario.server.escalate_on_miss = false;
+  spec.scenario.server.health.scrub_interval = 4000;
+  spec.scenario.server.health.suspect_detections = 4;
+  // Only escalations (unverifiable results) should quarantine here.
+  spec.scenario.server.health.quarantine_detections = 1u << 30;
+  for (const char* name : {"vision", "sensor"}) {
+    TenantSpec t;
+    t.name = name;
+    t.rate_per_kcycle = 6.0;
+    t.requests = 120;
+    t.min_ops = 2;
+    t.max_ops = 6;
+    t.width = 12;
+    t.policy = reliability::ReliabilityPolicy::kDetectAndRepair;
+    spec.scenario.tenants.push_back(std::move(t));
+  }
+  spec.stuck_rate = 1e-3;
+  spec.cells_per_unit = 256;
+  spec.transient_rate = 1e-4;
+  spec.kill_at = 8000;  // Mid-serve: arrivals span roughly 20k cycles.
+  spec.kill_domain = 1;
+  return spec;
+}
+
+TEST(ServeChaos, HealthLayerServesExactThroughKillAndDecay) {
+  const ChaosSpec spec = small_chaos_spec();
+  const Outcome on = run_chaos(spec, true);
+  EXPECT_EQ(check_chaos_conservation(on), "");
+
+  const CorruptionReport rep = count_corruption(on);
+  EXPECT_GT(rep.ok, 0u);
+  // The tentpole property: with the health layer on, no served value is
+  // corrupted — unverifiable batches relocated instead of completing.
+  EXPECT_EQ(rep.corrupted, 0u);
+  EXPECT_EQ(rep.silent, 0u);
+
+  // The kill was noticed: the domain quarantined, its work relocated,
+  // and capacity dipped by exactly one stream.
+  EXPECT_GE(on.snap.domains[spec.kill_domain].quarantines, 1u);
+  EXPECT_TRUE(on.snap.domains[spec.kill_domain].dead);
+  EXPECT_GT(on.snap.relocated_requests, 0u);
+  EXPECT_EQ(on.snap.min_serving_domains, spec.scenario.server.streams - 1);
+  EXPECT_GT(on.snap.scrub_passes, 0u);
+}
+
+TEST(ServeChaos, WithoutTheHealthLayerTheSameFaultsCorrupt) {
+  const ChaosSpec spec = small_chaos_spec();
+  const Outcome off = run_chaos(spec, false);
+  EXPECT_EQ(check_chaos_conservation(off), "");
+  EXPECT_EQ(off.snap.relocated_requests, 0u);
+  EXPECT_EQ(off.snap.scrub_passes, 0u);
+  const CorruptionReport rep = count_corruption(off);
+  // The dead domain keeps serving garbage: corruption, some silent.
+  EXPECT_GT(rep.corrupted, 0u);
+}
+
+TEST(ServeChaos, OutcomesAreHostThreadInvariant) {
+  ThreadCountGuard guard;
+  const ChaosSpec spec = small_chaos_spec();
+  util::set_thread_count(1);
+  const Outcome base = run_chaos(spec, true);
+  for (const std::size_t threads : {2u, 7u}) {
+    util::set_thread_count(threads);
+    const Outcome other = run_chaos(spec, true);
+    EXPECT_EQ(diff_outcomes(base, other), "") << threads << " threads";
+  }
+}
+
+TEST(ServeChaos, SameSeedSameOutcome) {
+  const ChaosSpec spec = small_chaos_spec();
+  const Outcome a = run_chaos(spec, true);
+  const Outcome b = run_chaos(spec, true);
+  EXPECT_EQ(diff_outcomes(a, b), "");
+}
+
+TEST(ServeChaos, DegradeModeUpgradesSuspectTraffic) {
+  ChaosSpec spec = small_chaos_spec();
+  spec.kill_at = 0;  // Ambient decay only.
+  spec.stuck_rate = 4e-3;
+  spec.transient_rate = 0.0;
+  spec.scenario.server.health.mode = health::DegradeMode::kDegrade;
+  spec.scenario.server.health.suspect_detections = 2;
+  spec.scenario.server.health.scrub_interval = 200000;  // Stay suspect.
+  const Outcome out = run_chaos(spec, true);
+  EXPECT_EQ(check_chaos_conservation(out), "");
+  EXPECT_GT(out.snap.degraded_ops, 0u);
+  EXPECT_GT(out.snap.degraded_batches, 0u);
+  // No zero-corruption claim here: triple-vote trades the residue check's
+  // detection guarantee for masking, and correlated decay (two redundancy
+  // domains stuck on the same output bit) can out-vote the clean domain.
+  // The shed/relocate path (the tests above) is the airtight one.
+}
+
+TEST(ServeChaos, QuarantinedDomainRepairsAndReadmits) {
+  ChaosSpec spec = small_chaos_spec();
+  spec.stuck_rate = 0.0;  // Only the scheduled event below.
+  spec.transient_rate = 0.0;
+  spec.kill_at = 0;
+  Scenario s = spec.scenario;
+  s.server.health.enabled = true;
+  s.server.health.repair_interval = 5000;
+  // Defeat every redundancy domain WITHOUT marking the fabric dead: the
+  // stuck rows are repairable, so off-line scrubs must re-earn admission.
+  health::DomainFaultEvent decay;
+  decay.at = 8000;
+  decay.domain = 2;
+  decay.kind = health::DomainFaultEvent::Kind::kSetFaults;
+  decay.faults =
+      health::whole_domain_failure(s.server.lanes_per_stream, 3);
+  s.server.health.fault_schedule = {decay};
+  const Outcome out = run_scenario(s);
+  EXPECT_EQ(check_chaos_conservation(out), "");
+  EXPECT_GE(out.snap.domains[2].quarantines, 1u);
+  EXPECT_GE(out.snap.domains[2].readmissions, 1u);
+  EXPECT_GT(out.snap.scrub_repaired_bits, 0u);
+  // Recovered: by the end every domain serves again.
+  EXPECT_EQ(out.snap.serving_domains(), s.server.streams);
+  EXPECT_EQ(count_corruption(out).corrupted, 0u);
+}
+
+TEST(ServeChaos, AllDomainsKilledShedsInsteadOfHanging) {
+  ChaosSpec spec = small_chaos_spec();
+  Scenario s = spec.scenario;
+  s.server.health.enabled = true;
+  s.server.health.repair_interval = 4000;
+  for (std::size_t d = 0; d < s.server.streams; ++d) {
+    health::DomainFaultEvent kill;
+    kill.at = 8000;
+    kill.domain = d;
+    kill.kind = health::DomainFaultEvent::Kind::kKill;
+    s.server.health.fault_schedule.push_back(kill);
+  }
+  const Outcome out = run_scenario(s);  // Must terminate.
+  EXPECT_EQ(check_chaos_conservation(out), "");
+  EXPECT_EQ(out.snap.serving_domains(), 0u);
+  EXPECT_EQ(out.snap.min_serving_domains, 0u);
+  EXPECT_GT(out.snap.rejected, 0u);
+  EXPECT_EQ(count_corruption(out).corrupted, 0u);
+}
+
+TEST(ServeChaos, HealthOnWithoutFaultsStaysHealthyAndExact) {
+  ChaosSpec spec = small_chaos_spec();
+  spec.stuck_rate = 0.0;
+  spec.transient_rate = 0.0;
+  spec.kill_at = 0;
+  const Outcome out = run_chaos(spec, true);
+  EXPECT_EQ(check_chaos_conservation(out), "");
+  EXPECT_EQ(count_corruption(out).corrupted, 0u);
+  EXPECT_EQ(out.snap.relocated_requests, 0u);
+  for (const auto& d : out.snap.domains) {
+    EXPECT_EQ(d.state, health::DomainState::kHealthy);
+    EXPECT_EQ(d.quarantines, 0u);
+  }
+  EXPECT_GT(out.snap.scrub_passes, 0u);  // Preventive scrub still runs.
+  EXPECT_EQ(out.snap.scrub_repaired_bits, 0u);
+}
+
+}  // namespace
