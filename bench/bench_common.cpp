@@ -80,6 +80,16 @@ std::string json_output_path(int argc, char** argv) {
   return {};
 }
 
+std::string csv_output_path(int argc, char** argv,
+                            const std::string& default_name) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) return arg + 6;
+    if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return default_name;
+}
+
 bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return true;

@@ -80,6 +80,14 @@ std::size_t configure_threads(int argc, char** argv);
 /// report there in addition to its human tables and CSVs.
 [[nodiscard]] std::string json_output_path(int argc, char** argv);
 
+/// CSV output knob shared by the bench binaries: parses `--out <path>`
+/// (or `--out=path`) from argv, falling back to `default_name` — a bare
+/// filename, so by default the CSV lands in the CURRENT directory, never
+/// in the source tree (CI and scripts/bench_pr.sh point it at their temp
+/// dirs; `ext_*.csv` is gitignored as a second line of defense).
+[[nodiscard]] std::string csv_output_path(int argc, char** argv,
+                                          const std::string& default_name);
+
 /// True when the exact `flag` (e.g. "--smoke") appears in argv.
 [[nodiscard]] bool has_flag(int argc, char** argv, const char* flag);
 

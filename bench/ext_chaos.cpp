@@ -187,7 +187,9 @@ int main(int argc, char** argv) {
   apim::util::TextTable text({"run", "ok", "corrupt", "silent", "reject",
                               "reloc", "quar", "scrubs", "ops/kcyc", "p99"});
   text.set_title("Same seeded decay, health layer off vs on (kShed)");
-  apim::util::CsvWriter csv("ext_chaos.csv");
+  const std::string csv_path =
+      apim::bench::csv_output_path(argc, argv, "ext_chaos.csv");
+  apim::util::CsvWriter csv(csv_path);
   csv.write_row({"run", "ok", "corrupted", "silent", "rejected", "expired",
                  "relocated_requests", "quarantines", "readmissions",
                  "scrub_passes", "scrub_repaired_bits", "min_serving_domains",
@@ -222,7 +224,7 @@ int main(int argc, char** argv) {
                    apim::util::format_double(snap.energy_pj, 1)});
   }
   std::printf("%s\n", text.render().c_str());
-  if (csv.ok()) std::printf("Wrote ext_chaos.csv\n");
+  if (csv.ok()) std::printf("Wrote %s\n", csv_path.c_str());
 
   const double clean_goodput = ops_per_kcycle(clean_run.out);
   const double on_goodput = ops_per_kcycle(on_run.out);

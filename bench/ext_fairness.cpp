@@ -126,7 +126,9 @@ int main(int argc, char** argv) {
                               "starve cyc", "jain"});
   text.set_title("Weights 3:1, heavy offered 3x capacity, light 1.12x its "
                  "share");
-  apim::util::CsvWriter csv("ext_fairness.csv");
+  const std::string csv_path =
+      apim::bench::csv_output_path(argc, argv, "ext_fairness.csv");
+  apim::util::CsvWriter csv(csv_path);
   csv.write_row({"run", "tenant", "weight", "completed", "expired",
                  "ops_served", "served_ops_share", "p99_latency_cycles",
                  "max_starvation_cycles", "max_deficit_carried",
@@ -161,7 +163,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n%s\n", text.render().c_str());
-  if (csv.ok()) std::printf("Wrote ext_fairness.csv\n");
+  if (csv.ok()) std::printf("Wrote %s\n", csv_path.c_str());
 
   const double drr_share =
       apim::serve_harness::served_ops_share(drr_run.out.snap, "light");

@@ -86,7 +86,9 @@ int main(int argc, char** argv) {
   util::TextTable table({"stuck rate", "policy", "accept", "min PSNR dB",
                          "detected", "retries", "escal.", "cycle ovh",
                          "energy ovh"});
-  util::CsvWriter csv("ext_fault_campaign.csv");
+  const std::string csv_path =
+      bench::csv_output_path(argc, argv, "ext_fault_campaign.csv");
+  util::CsvWriter csv(csv_path);
   csv.write_row({"stuck_rate", "policy", "accept_fraction", "min_metric",
                  "faults_detected", "retries", "escalations",
                  "cycle_overhead", "energy_overhead"});

@@ -107,7 +107,9 @@ int main(int argc, char** argv) {
                               "p99 cyc", "mean batch", "stream occ",
                               "done", "rej", "exp"});
   text.set_title("Open loop, 8-op mul requests, 4 streams x 64 lanes");
-  apim::util::CsvWriter csv("ext_serving.csv");
+  const std::string csv_path =
+      apim::bench::csv_output_path(argc, argv, "ext_serving.csv");
+  apim::util::CsvWriter csv(csv_path);
   csv.write_row({"mode", "rate_per_kcycle", "throughput_rps",
                  "p50_latency_cycles", "p95_latency_cycles",
                  "p99_latency_cycles", "mean_batch_requests",
@@ -137,7 +139,7 @@ int main(int argc, char** argv) {
                    apim::util::format_sci(s.energy_pj, 4)});
   }
   std::printf("\n%s\n", text.render().c_str());
-  if (csv.ok()) std::printf("Wrote ext_serving.csv\n");
+  if (csv.ok()) std::printf("Wrote %s\n", csv_path.c_str());
 
   // -- Backend A/B: host cost of the simulation tier ------------------------
   //

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Per-PR performance trajectory: runs the benchmark quartet at its fixed
-# seeds (headline_summary, ext_serving, ext_fairness, ext_chaos) and
-# folds the four JSON reports into one normalized snapshot,
+# Per-PR performance trajectory: runs the benchmark quintet at its fixed
+# seeds (headline_summary, ext_serving, ext_fairness, ext_chaos,
+# ext_cluster) and folds the JSON reports into one normalized snapshot,
 # BENCH_<n>.json at the repo root. Committing the snapshot per PR gives
 # the repo a reviewable throughput/latency/fairness/resilience
 # trajectory over time.
@@ -27,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-SNAPSHOT="BENCH_7.json"
+SNAPSHOT="BENCH_8.json"
 SMOKE=0
 CHECK=0
 OUT=""
@@ -43,7 +43,7 @@ if [[ -z "$OUT" ]]; then
   if [[ $SMOKE -eq 1 ]]; then OUT="$BUILD_DIR/BENCH_smoke.json"; else OUT="$SNAPSHOT"; fi
 fi
 
-for bin in headline_summary ext_serving ext_fairness ext_chaos; do
+for bin in headline_summary ext_serving ext_fairness ext_chaos ext_cluster; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_pr.sh: missing $BUILD_DIR/bench/$bin (build the tree first)" >&2
     exit 1
@@ -58,14 +58,21 @@ smoke_flag=()
 # Each bench enforces its own shape checks and exits nonzero on failure,
 # so a perf regression (e.g. bitsliced < 5x word in full mode) stops the
 # script before any snapshot is written.
+# CSVs go to the temp dir via --out so nothing lands in the source tree.
 echo "== headline_summary"
 "$BUILD_DIR/bench/headline_summary" --json "$tmp/headline.json" > "$tmp/headline.log"
 echo "== ext_serving"
-"$BUILD_DIR/bench/ext_serving" "${smoke_flag[@]}" --json "$tmp/serving.json" > "$tmp/serving.log"
+"$BUILD_DIR/bench/ext_serving" "${smoke_flag[@]}" --json "$tmp/serving.json" \
+  --out "$tmp/ext_serving.csv" > "$tmp/serving.log"
 echo "== ext_fairness"
-"$BUILD_DIR/bench/ext_fairness" "${smoke_flag[@]}" --json "$tmp/fairness.json" > "$tmp/fairness.log"
+"$BUILD_DIR/bench/ext_fairness" "${smoke_flag[@]}" --json "$tmp/fairness.json" \
+  --out "$tmp/ext_fairness.csv" > "$tmp/fairness.log"
 echo "== ext_chaos"
-"$BUILD_DIR/bench/ext_chaos" "${smoke_flag[@]}" --json "$tmp/chaos.json" > "$tmp/chaos.log"
+"$BUILD_DIR/bench/ext_chaos" "${smoke_flag[@]}" --json "$tmp/chaos.json" \
+  --out "$tmp/ext_chaos.csv" > "$tmp/chaos.log"
+echo "== ext_cluster"
+"$BUILD_DIR/bench/ext_cluster" "${smoke_flag[@]}" --json "$tmp/cluster.json" \
+  --out "$tmp/ext_cluster.csv" > "$tmp/cluster.log"
 
 python3 - "$tmp" "$OUT" "$SMOKE" "$SNAPSHOT" "$CHECK" <<'PY'
 import json, os, sys
@@ -90,6 +97,8 @@ serving = load("serving", ["batched_vs_unbatched_speedup",
 fairness = load("fairness", ["runs", "light_p99_solo_cycles"])
 chaos = load("chaos", ["throughput_ratio", "health_on_corrupted",
                        "health_on_silent", "health_off_corrupted", "runs"])
+cluster = load("cluster", ["migration_vs_static_throughput_ratio",
+                           "migration_vs_static_p99_ratio", "runs"])
 
 def sweep_row(mode, pick):
     rows = [r for r in serving["sweep"] if r["mode"] == mode]
@@ -118,9 +127,18 @@ def chaos_run(name):
     return rows[0]
 
 chaos_on = chaos_run("chaos-on")
+
+def cluster_run(name):
+    rows = [r for r in cluster["runs"] if r["run"] == name]
+    if not rows:
+        sys.exit(f"bench_pr.sh: cluster report has no '{name}' run (schema drift)")
+    return rows[0]
+
+cluster_static = cluster_run("static")
+cluster_migrate = cluster_run("migrate")
 ab = serving["backend_ab"]
 doc = {
-    "bench_id": "BENCH_7",
+    "bench_id": "BENCH_8",
     "schema_version": 2,
     "smoke": smoke,
     "backend": {
@@ -153,6 +171,21 @@ doc = {
         "quarantines": chaos_on["quarantines"],
         "scrub_passes": chaos_on["scrub_passes"],
         "min_serving_domains": chaos_on["min_serving_domains"],
+    },
+    "cluster": {
+        "migration_vs_static_throughput_ratio":
+            cluster["migration_vs_static_throughput_ratio"],
+        "migration_vs_static_p99_ratio":
+            cluster["migration_vs_static_p99_ratio"],
+        "cross_shard_traffic_share":
+            cluster_migrate["cross_shard_traffic_share"],
+        "chip_jain_static": cluster_static["chip_jain"],
+        "chip_jain_migrate": cluster_migrate["chip_jain"],
+        "migrations": cluster_migrate["migrations"],
+        "p99_edge_latency_cycles_static":
+            cluster_static["p99_edge_latency_cycles"],
+        "p99_edge_latency_cycles_migrate":
+            cluster_migrate["p99_edge_latency_cycles"],
     },
     "headline": {
         "mean_exact_speedup": headline["mean_exact_speedup"],
@@ -226,6 +259,16 @@ TOLERANCES = {
     "chaos.relocated_requests": ("min", 1),
     "chaos.quarantines": ("min", 1),
     "chaos.scrub_passes": ("min", 1),
+    # Scale-out headline: migration must beat static placement on
+    # throughput and even out per-chip load, paying real interconnect
+    # traffic. Ratios move with trace size, so floors rather than bands;
+    # the bench's own shape checks hold the tighter full-mode line.
+    "cluster.migration_vs_static_throughput_ratio": ("min", 1.05),
+    "cluster.migration_vs_static_p99_ratio": ("abs", 0.55),
+    "cluster.cross_shard_traffic_share": ("min", 0.001),
+    "cluster.chip_jain_static": ("abs", 0.10),
+    "cluster.chip_jain_migrate": ("min", 0.5),
+    "cluster.migrations": ("min", 1),
     # Full-mode always (headline_summary takes no --smoke): tight.
     "headline.mean_exact_speedup": ("rel", 0.05),
     "headline.mean_exact_energy_gain": ("rel", 0.05),

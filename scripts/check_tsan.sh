@@ -22,13 +22,15 @@ cmake -B "$BUILD_DIR" -S . \
 # FairShareContention suite stays outside the regex below on purpose.
 # serve_health_test's Serve* suites (health monitor, scrub, chaos with
 # mid-serve kills) exercise execute_batch's pool under relocation.
+# cluster_test's Cluster* suites drive N servers' dispatch pools from the
+# cluster event loop, including the thread-count invariance test.
 TARGETS=(parallel_exec_test batch_test vector_unit_test util_test apps_test
-  serve_test serve_fairness_test serve_health_test)
+  serve_test serve_fairness_test serve_health_test cluster_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # halt_on_error makes the first race fail the test binary (and so ctest).
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelDeterminism|DegenerateInputs|Batch|VectorAdd|VectorUnit|Serve'
+  -R 'ThreadPool|ParallelDeterminism|DegenerateInputs|Batch|VectorAdd|VectorUnit|Serve|Cluster'
 
 echo "TSan check passed (APIM_THREADS=$APIM_THREADS)."

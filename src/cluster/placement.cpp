@@ -1,0 +1,84 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace apim::cluster {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Deterministic point for (seed, tag, index): XOR-fold then splitmix64,
+/// the same decorrelation recipe as serve_harness::tenant_seed.
+std::uint64_t mix_point(std::uint64_t seed, std::uint64_t tag,
+                        std::uint64_t index) {
+  std::uint64_t state =
+      seed ^ (tag * 0x9E3779B97F4A7C15ull) ^ (index * 0xBF58476D1CE4E5B9ull);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+Placement::Placement(std::size_t shards, std::size_t chips,
+                     std::uint64_t seed,
+                     const std::map<std::size_t, std::size_t>& overrides)
+    : shards_(shards == 0 ? 1 : shards),
+      chips_(chips == 0 ? 1 : chips),
+      seed_(seed) {
+  ring_.reserve(chips_ * kVirtualNodes);
+  for (std::size_t c = 0; c < chips_; ++c)
+    for (std::size_t v = 0; v < kVirtualNodes; ++v)
+      ring_.emplace_back(mix_point(seed_, 1 + c, v), c);
+  std::sort(ring_.begin(), ring_.end());
+
+  home_.resize(shards_);
+  const std::vector<bool> all(chips_, true);
+  for (std::size_t s = 0; s < shards_; ++s) home_[s] = fallback_chip(s, all);
+  for (const auto& [shard, chip] : overrides) {
+    assert(shard < shards_ && chip < chips_);
+    if (shard < shards_ && chip < chips_) home_[shard] = chip;
+  }
+}
+
+std::size_t Placement::shard_of(const std::string& app, std::size_t shards) {
+  return shards == 0 ? 0 : fnv1a(app) % shards;
+}
+
+void Placement::move(std::size_t shard, std::size_t chip) {
+  assert(shard < shards_ && chip < chips_);
+  home_[shard] = chip;
+}
+
+std::uint64_t Placement::shard_point(std::size_t shard) const {
+  return mix_point(seed_, 0, shard);
+}
+
+std::size_t Placement::fallback_chip(std::size_t shard,
+                                     const std::vector<bool>& allowed) const {
+  assert(allowed.size() == chips_);
+  const std::uint64_t point = shard_point(shard);
+  // First allowed ring point at or clockwise of the shard's point; wrap
+  // once. Linear in ring size — rings are tiny (chips * 16 entries).
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, static_cast<std::size_t>(0)));
+  for (auto it = start; it != ring_.end(); ++it)
+    if (allowed[it->second]) return it->second;
+  for (auto it = ring_.begin(); it != start; ++it)
+    if (allowed[it->second]) return it->second;
+  for (std::size_t c = 0; c < chips_; ++c)
+    if (allowed[c]) return c;
+  return 0;
+}
+
+}  // namespace apim::cluster

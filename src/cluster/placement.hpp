@@ -1,0 +1,73 @@
+// Shard-to-chip placement: consistent hashing plus an override table.
+//
+// Tenants hash to shards (FNV-1a of the app name, the repo's standard
+// identity hash — tests/serve_harness.hpp uses the same construction for
+// per-tenant RNG streams), and shards map to chips. The default mapping is
+// a consistent-hash ring (each chip contributes kVirtualNodes points, a
+// shard lands on the first point clockwise of its own hash) so that
+// growing or shrinking the chip set moves only ~1/N of the shards. An
+// explicit override table pins chosen shards to chosen chips — benches use
+// it to construct adversarial initial placements, and the rebalancer
+// rewrites the live assignment through move() as migrations commit.
+//
+// Everything is a pure function of (shards, chips, seed, overrides) plus
+// the move() history: no global state, no std::hash (libstdc++-specific),
+// so placement is deterministic across platforms and runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apim::cluster {
+
+class Placement {
+ public:
+  /// Ring points contributed by each chip. More points smooth the shard
+  /// distribution; 16 keeps the worst chip within ~2x of the mean.
+  static constexpr std::size_t kVirtualNodes = 16;
+
+  Placement(std::size_t shards, std::size_t chips, std::uint64_t seed,
+            const std::map<std::size_t, std::size_t>& overrides = {});
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t chips() const noexcept { return chips_; }
+
+  /// Tenant -> shard: FNV-1a(app) mod shards.
+  [[nodiscard]] static std::size_t shard_of(const std::string& app,
+                                            std::size_t shards);
+
+  /// Current home chip of a shard.
+  [[nodiscard]] std::size_t chip_for(std::size_t shard) const {
+    return home_[shard];
+  }
+
+  /// Commit a migration: `shard` now lives on `chip`.
+  void move(std::size_t shard, std::size_t chip);
+
+  /// Ring lookup restricted to chips where `allowed[chip]` is true — where
+  /// a shard would live if its home chip left service. Falls back to the
+  /// lowest allowed chip id when the ring has no allowed point (cannot
+  /// happen while any chip is allowed, since every chip posts points).
+  [[nodiscard]] std::size_t fallback_chip(
+      std::size_t shard, const std::vector<bool>& allowed) const;
+
+  /// Live assignment, indexed by shard.
+  [[nodiscard]] const std::vector<std::size_t>& assignment() const noexcept {
+    return home_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t shard_point(std::size_t shard) const;
+
+  std::size_t shards_;
+  std::size_t chips_;
+  std::uint64_t seed_;
+  /// Sorted (hash point, chip) ring.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  std::vector<std::size_t> home_;
+};
+
+}  // namespace apim::cluster

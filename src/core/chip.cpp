@@ -33,6 +33,10 @@ std::size_t ApimChip::fault_domains() const noexcept {
   return command_streams();
 }
 
+std::size_t ApimChip::off_chip_link_bits() const noexcept {
+  return geometry_.cols;
+}
+
 bool ApimChip::fits(double dataset_bytes) const noexcept {
   return dataset_bytes <= capacity_bytes();
 }

@@ -65,6 +65,14 @@ class ApimChip {
   /// tracks one domain per command stream (serve/health.hpp).
   [[nodiscard]] std::size_t fault_domains() const noexcept;
 
+  /// Off-chip link width in bits: what one inter-chip transfer beat can
+  /// carry. The paper's block-to-block interconnect (Figure 3(a)) moves a
+  /// full row of `cols` bits per hop inside a tile; the chip-to-chip
+  /// generalization keeps that beat width, so a cluster interconnect
+  /// (src/cluster/topology.hpp) charges ceil(bits / off_chip_link_bits())
+  /// serialization beats per hop.
+  [[nodiscard]] std::size_t off_chip_link_bits() const noexcept;
+
   /// Whether a dataset fits in the data blocks.
   [[nodiscard]] bool fits(double dataset_bytes) const noexcept;
 

@@ -157,26 +157,7 @@ class Engine {
   /// Advance to the next event time and process everything due. Returns
   /// false when no event remains (the system is drained).
   bool step() {
-    std::optional<util::Cycles> next;
-    const auto consider = [&](util::Cycles c) {
-      if (!next || c < *next) next = c;
-    };
-    if (!arrivals_.empty() && admission_open())
-      consider(arrivals_.top().first);
-    if (const auto close = batcher_.next_close()) consider(*close);
-    for (const InFlight& f : inflight_) consider(f.completion);
-    if (track_domains_ && next_fault_event_ < fault_events_.size())
-      consider(std::max(fault_events_[next_fault_event_].at, now_));
-    if (health_on()) {
-      for (const util::Cycles at : repair_at_)
-        if (at != 0) consider(at);
-      // Preventive scrub only while tenant work keeps the clock alive;
-      // otherwise a drained engine would march forever.
-      if (cfg_.health.scrub_interval > 0 && tenant_work_pending() &&
-          scrub_candidate()) {
-        consider(std::max(next_scrub_at_, now_));
-      }
-    }
+    const std::optional<util::Cycles> next = compute_next_timer();
     if (!next) {
       // Belt and braces: a closed batch with a free stream has no timer.
       if (sched_.has_work() && free_serving_count() > 0) {
@@ -207,6 +188,26 @@ class Engine {
   void run_to_completion() {
     while (step()) {
     }
+  }
+
+  /// Earliest virtual time at which step() would make progress, or nullopt
+  /// when the engine is drained (step() would return false). A pure peek:
+  /// it shares step()'s timer computation so the two cannot diverge.
+  [[nodiscard]] std::optional<util::Cycles> next_event_time() const {
+    if (const std::optional<util::Cycles> next = compute_next_timer())
+      return std::max(*next, now_);
+    if (sched_.has_work() && free_serving_count() > 0) return now_;
+    if (health_on() && monitor_.serving_count() == 0 && stranded_sheddable())
+      return now_;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t serving_domains_now() const {
+    return health_on() ? monitor_.serving_count() : cfg_.streams;
+  }
+
+  [[nodiscard]] const PendingReq& at(std::uint64_t id) const {
+    return *reqs_[id];
   }
 
  private:
@@ -246,6 +247,43 @@ class Engine {
     for (std::size_t d = 0; d < busy_.size(); ++d)
       if (!busy_[d] && domain_serving(d)) ++n;
     return n;
+  }
+
+  /// The earliest pending timer event: arrival (when admission is open),
+  /// batch close, in-flight completion, scheduled fault, repair or scrub.
+  /// nullopt when no timer is armed — step() then falls back to
+  /// dispatchable-now work or stranded shedding.
+  [[nodiscard]] std::optional<util::Cycles> compute_next_timer() const {
+    std::optional<util::Cycles> next;
+    const auto consider = [&](util::Cycles c) {
+      if (!next || c < *next) next = c;
+    };
+    if (!arrivals_.empty() && admission_open())
+      consider(arrivals_.top().first);
+    if (const auto close = batcher_.next_close()) consider(*close);
+    for (const InFlight& f : inflight_) consider(f.completion);
+    if (track_domains_ && next_fault_event_ < fault_events_.size())
+      consider(std::max(fault_events_[next_fault_event_].at, now_));
+    if (health_on()) {
+      for (const util::Cycles at : repair_at_)
+        if (at != 0) consider(at);
+      // Preventive scrub only while tenant work keeps the clock alive;
+      // otherwise a drained engine would march forever.
+      if (cfg_.health.scrub_interval > 0 && tenant_work_pending() &&
+          scrub_candidate()) {
+        consider(std::max(next_scrub_at_, now_));
+      }
+    }
+    return next;
+  }
+
+  /// Mirror of shed_stranded()'s "would finalize anything" condition:
+  /// every domain quarantined with no repair pending, and tenant requests
+  /// (queued batches with members, or blocked arrivals) left to reject.
+  [[nodiscard]] bool stranded_sheddable() const {
+    for (const util::Cycles at : repair_at_)
+      if (at != 0) return false;
+    return sched_.pending_requests() > 0 || !arrivals_.empty();
   }
 
   /// Is there tenant work anywhere (arrivals, batching, queued, in
@@ -889,6 +927,41 @@ std::vector<Response> Server::run_closed_loop(
   responses.reserve(ids.size());
   for (const std::uint64_t id : ids) responses.push_back(engine.at(id).resp);
   return responses;
+}
+
+std::uint64_t Server::stage_request(Request request) {
+  assert(!impl_->running);
+  Engine& engine = impl_->engine;
+  const std::uint64_t id = engine.create(std::move(request));
+  engine.push_arrival(id);
+  return id;
+}
+
+std::optional<util::Cycles> Server::next_event_at() const {
+  return impl_->engine.next_event_time();
+}
+
+bool Server::step_until(util::Cycles limit) {
+  assert(!impl_->running);
+  Engine& engine = impl_->engine;
+  bool any = false;
+  for (;;) {
+    const std::optional<util::Cycles> at = engine.next_event_time();
+    if (!at || *at > limit) break;
+    engine.step();
+    any = true;
+  }
+  return any;
+}
+
+util::Cycles Server::virtual_now() const { return impl_->engine.now(); }
+
+const Response& Server::response(std::uint64_t id) const {
+  return impl_->engine.at(id).resp;
+}
+
+std::size_t Server::serving_domain_count() const {
+  return impl_->engine.serving_domains_now();
 }
 
 void Server::start() {

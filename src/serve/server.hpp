@@ -33,6 +33,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,42 @@ class Server {
       std::size_t clients, std::size_t requests_per_client,
       util::Cycles think_cycles,
       const std::function<Request(std::size_t, std::size_t)>& make_request);
+
+  // -- Incremental stepping (cluster coordination) -------------------------
+  //
+  // A coordinator that interleaves several virtual-time servers (one per
+  // chip, src/cluster/) drives each engine event by event instead of
+  // calling run_trace: stage arrivals as they become known, advance every
+  // chip to the global minimum event time, repeat. Driving a single
+  // server this way reproduces run_trace bit-exactly — step_until uses
+  // the same event-selection code as run_to_completion. Not usable while
+  // the async scheduler thread runs.
+
+  /// Stage one open-loop request (arrival cycle set by the caller) without
+  /// running the engine. Returns the request's dense id for response().
+  std::uint64_t stage_request(Request request);
+
+  /// Earliest virtual time at which the engine has work (an arrival,
+  /// batch close, completion, fault event, repair or scrub — or queued
+  /// work that is dispatchable/sheddable right now). nullopt when fully
+  /// drained.
+  [[nodiscard]] std::optional<util::Cycles> next_event_at() const;
+
+  /// Process every event due at or before `limit`. Returns true when at
+  /// least one event was processed.
+  bool step_until(util::Cycles limit);
+
+  /// Current virtual time of the engine clock.
+  [[nodiscard]] util::Cycles virtual_now() const;
+
+  /// Response of a staged request; meaningful once the request finalized
+  /// (status != kPending).
+  [[nodiscard]] const Response& response(std::uint64_t id) const;
+
+  /// Streams currently in service: with the health layer on, the count of
+  /// non-quarantined domains; with it off, all streams. Cheap (no
+  /// snapshot allocation) — placement/rebalancing polls this per tick.
+  [[nodiscard]] std::size_t serving_domain_count() const;
 
   // -- Live async serving --------------------------------------------------
 
