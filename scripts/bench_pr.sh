@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Per-PR performance trajectory: runs the benchmark quintet at its fixed
+# Per-PR performance trajectory: runs the benchmark sextet at its fixed
 # seeds (headline_summary, ext_serving, ext_fairness, ext_chaos,
-# ext_cluster) and folds the JSON reports into one normalized snapshot,
-# BENCH_<n>.json at the repo root. Committing the snapshot per PR gives
-# the repo a reviewable throughput/latency/fairness/resilience
-# trajectory over time.
+# ext_cluster, ext_analytics) and folds the JSON reports into one
+# normalized snapshot, BENCH_<n>.json at the repo root. Committing the
+# snapshot per PR gives the repo a reviewable throughput/latency/
+# fairness/resilience/analytics trajectory over time.
 #
 # Usage: scripts/bench_pr.sh [--smoke] [--check] [out.json]
 #
@@ -27,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-SNAPSHOT="BENCH_8.json"
+SNAPSHOT="BENCH_9.json"
 SMOKE=0
 CHECK=0
 OUT=""
@@ -43,7 +43,8 @@ if [[ -z "$OUT" ]]; then
   if [[ $SMOKE -eq 1 ]]; then OUT="$BUILD_DIR/BENCH_smoke.json"; else OUT="$SNAPSHOT"; fi
 fi
 
-for bin in headline_summary ext_serving ext_fairness ext_chaos ext_cluster; do
+for bin in headline_summary ext_serving ext_fairness ext_chaos ext_cluster \
+    ext_analytics; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_pr.sh: missing $BUILD_DIR/bench/$bin (build the tree first)" >&2
     exit 1
@@ -73,6 +74,9 @@ echo "== ext_chaos"
 echo "== ext_cluster"
 "$BUILD_DIR/bench/ext_cluster" "${smoke_flag[@]}" --json "$tmp/cluster.json" \
   --out "$tmp/ext_cluster.csv" > "$tmp/cluster.log"
+echo "== ext_analytics"
+"$BUILD_DIR/bench/ext_analytics" "${smoke_flag[@]}" --json "$tmp/analytics.json" \
+  --out "$tmp/ext_analytics.csv" > "$tmp/analytics.log"
 
 python3 - "$tmp" "$OUT" "$SMOKE" "$SNAPSHOT" "$CHECK" <<'PY'
 import json, os, sys
@@ -99,6 +103,12 @@ chaos = load("chaos", ["throughput_ratio", "health_on_corrupted",
                        "health_on_silent", "health_off_corrupted", "runs"])
 cluster = load("cluster", ["migration_vs_static_throughput_ratio",
                            "migration_vs_static_p99_ratio", "runs"])
+analytics = load("analytics", ["queries", "exact_matches_oracle",
+                               "backends_bit_identical",
+                               "engine_spot_check_identical",
+                               "relaxed_vs_exact_cycles_ratio",
+                               "relaxed_vs_exact_energy_ratio",
+                               "relaxed_max_sum_rel_err"])
 
 def sweep_row(mode, pick):
     rows = [r for r in serving["sweep"] if r["mode"] == mode]
@@ -137,8 +147,19 @@ def cluster_run(name):
 cluster_static = cluster_run("static")
 cluster_migrate = cluster_run("migrate")
 ab = serving["backend_ab"]
+
+def analytics_query(name):
+    rows = [q for q in analytics["queries"] if q["query"] == name]
+    if not rows:
+        sys.exit(f"bench_pr.sh: analytics report has no '{name}' query "
+                 "(schema drift)")
+    return rows[0]
+
+an_q6 = analytics_query("q6-filter-mul-sum")
+an_q1 = analytics_query("q1-group-aggregate")
+an_q3 = analytics_query("q3-join-group-sort")
 doc = {
-    "bench_id": "BENCH_8",
+    "bench_id": "BENCH_9",
     "schema_version": 2,
     "smoke": smoke,
     "backend": {
@@ -186,6 +207,20 @@ doc = {
             cluster_static["p99_edge_latency_cycles"],
         "p99_edge_latency_cycles_migrate":
             cluster_migrate["p99_edge_latency_cycles"],
+    },
+    "analytics": {
+        "exact_matches_oracle": analytics["exact_matches_oracle"],
+        "backends_bit_identical": analytics["backends_bit_identical"],
+        "engine_spot_check_identical": analytics["engine_spot_check_identical"],
+        "q6_ops_per_kcycle": an_q6["ops_per_kcycle"],
+        "q1_ops_per_kcycle": an_q1["ops_per_kcycle"],
+        "q3_ops_per_kcycle": an_q3["ops_per_kcycle"],
+        "lineitem_rows": analytics["lineitem_rows"],
+        "relaxed_vs_exact_cycles_ratio":
+            analytics["relaxed_vs_exact_cycles_ratio"],
+        "relaxed_vs_exact_energy_ratio":
+            analytics["relaxed_vs_exact_energy_ratio"],
+        "relaxed_max_sum_rel_err": analytics["relaxed_max_sum_rel_err"],
     },
     "headline": {
         "mean_exact_speedup": headline["mean_exact_speedup"],
@@ -269,6 +304,19 @@ TOLERANCES = {
     "cluster.chip_jain_static": ("abs", 0.10),
     "cluster.chip_jain_migrate": ("min", 0.5),
     "cluster.migrations": ("min", 1),
+    # Analytics exactness headlines: the differential story must never
+    # regress, in smoke or full mode.
+    "analytics.exact_matches_oracle": ("exact",),
+    "analytics.backends_bit_identical": ("exact",),
+    "analytics.engine_spot_check_identical": ("exact",),
+    # Op throughput scales with table size (batching density): smoke
+    # tables batch ~5x less densely than full, so one-sided floors.
+    "analytics.q6_ops_per_kcycle": ("min", 8.0),
+    "analytics.q1_ops_per_kcycle": ("min", 8.0),
+    "analytics.q3_ops_per_kcycle": ("min", 8.0),
+    # Relax trims add cycles and energy, never inflates them.
+    "analytics.relaxed_vs_exact_cycles_ratio": ("abs", 0.25),
+    "analytics.relaxed_vs_exact_energy_ratio": ("abs", 0.25),
     # Full-mode always (headline_summary takes no --smoke): tight.
     "headline.mean_exact_speedup": ("rel", 0.05),
     "headline.mean_exact_energy_gain": ("rel", 0.05),

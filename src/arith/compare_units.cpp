@@ -1,0 +1,107 @@
+#include "arith/compare_units.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "arith/bitsliced.hpp"
+#include "util/bitops.hpp"
+
+namespace apim::arith {
+
+using util::bit;
+using util::low_mask;
+using util::popcount;
+
+namespace {
+
+/// Energy of the complement pass: one shared init of the n destination
+/// cells plus one row-parallel NOT of the subtrahend. NOT lanes: input is
+/// b, the result switches (1 -> 0) exactly where b is 1. Shared between the
+/// word and bitsliced paths so the doubles compose identically.
+double complement_energy_pj(std::uint64_t b, unsigned n,
+                            const device::EnergyModel& em) {
+  const int ones = popcount(b);
+  const int zeros = static_cast<int>(n) - ones;
+  return static_cast<double>(n) * em.e_init_pj +
+         static_cast<double>(ones) * em.e_input_on_pj +
+         static_cast<double>(zeros) * em.e_input_off_pj +
+         static_cast<double>(ones) * em.e_switch_pj;
+}
+
+CompareOutcome compose_compare(std::uint64_t b_masked, unsigned n,
+                               const device::EnergyModel& em,
+                               const AddOutcome& add) {
+  CompareOutcome out;
+  // Complement pass: 1 init cycle + 1 row-parallel NOT cycle.
+  out.cycles = 2;
+  out.energy_ops_pj = complement_energy_pj(b_masked, n, em);
+  out.cycles += add.cycles;
+  out.energy_ops_pj += add.energy_ops_pj;
+  out.sum = add.sum;
+  out.carry_out = add.carry_out;
+  out.code = compare_code(add.sum, add.carry_out, n);
+  return out;
+}
+
+}  // namespace
+
+CompareOutcome fast_compare(std::uint64_t a, std::uint64_t b, unsigned n,
+                            const device::EnergyModel& em) {
+  assert(n >= 1 && n <= 64);
+  const std::uint64_t mask = low_mask(n);
+  a &= mask;
+  b &= mask;
+  // Comparison is always exact: relax 0, so fast_add dispatches to the
+  // serial adder (12n + 1 cycles) whose carry chain carries the predicate.
+  const AddOutcome add = fast_add(a, ~b & mask, n, /*relax_m=*/0, em);
+  return compose_compare(b, n, em, add);
+}
+
+void bitsliced_compare_slice(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops, unsigned n,
+    const device::EnergyModel& em, std::span<CompareOutcome> out) {
+  assert(ops.size() <= kBitsliceLanes);
+  assert(out.size() >= ops.size());
+  const std::uint64_t mask = low_mask(n);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> add_ops(ops.size());
+  for (std::size_t l = 0; l < ops.size(); ++l)
+    add_ops[l] = {ops[l].first & mask, ~(ops[l].second & mask) & mask};
+  std::vector<AddOutcome> add_out(ops.size());
+  bitsliced_add_slice(add_ops, n, /*relax_m=*/0, em, add_out);
+  for (std::size_t l = 0; l < ops.size(); ++l)
+    out[l] = compose_compare(ops[l].second & mask, n, em, add_out[l]);
+}
+
+namespace {
+
+/// Unpack the low n bits of x into n 1-bit tree-add operands.
+void popcount_operands(std::uint64_t x, unsigned n,
+                       std::vector<std::uint64_t>& values,
+                       std::vector<unsigned>& widths) {
+  values.resize(n);
+  widths.assign(n, 1u);
+  for (unsigned i = 0; i < n; ++i) values[i] = bit(x, i);
+}
+
+}  // namespace
+
+AddOutcome fast_popcount(std::uint64_t x, unsigned n,
+                         const device::EnergyModel& em) {
+  assert(n >= 1 && n <= 64);
+  std::vector<std::uint64_t> values;
+  std::vector<unsigned> widths;
+  popcount_operands(x & low_mask(n), n, values, widths);
+  return fast_tree_add(values, widths, popcount_width_cap(n), em);
+}
+
+InMemoryResult inmemory_popcount(std::uint64_t x, unsigned n,
+                                 const device::EnergyModel& em,
+                                 magic::Tracer* tracer) {
+  assert(n >= 1 && n <= 64);
+  std::vector<std::uint64_t> values;
+  std::vector<unsigned> widths;
+  popcount_operands(x & low_mask(n), n, values, widths);
+  return inmemory_tree_add(values, widths, popcount_width_cap(n), em, tracer);
+}
+
+}  // namespace apim::arith

@@ -214,6 +214,40 @@ InMemoryResult inmemory_serial_add(std::uint64_t a, std::uint64_t b,
   return delta.finish(sum.value, sum.carry_out);
 }
 
+InMemoryResult inmemory_compare(std::uint64_t a, std::uint64_t b, unsigned n,
+                                const device::EnergyModel& em,
+                                magic::Tracer* tracer) {
+  assert(n >= 1 && n <= 64);
+  // Rows: a (0), b (1), ~b (2), serial-add scratch [3, 15), zero ref (15).
+  BlockedCrossbar xbar{CrossbarConfig{2, 16, std::max<std::size_t>(n + 1, 8)}};
+  MagicEngine engine{xbar, em};
+  engine.attach_tracer(tracer);
+  load_word(xbar, CellAddr{1, 0, 0}, n, a & low_mask(n));
+  load_word(xbar, CellAddr{1, 1, 0}, n, b & low_mask(n));
+
+  const StatsDelta delta{engine};
+  // Complement pass: invert the subtrahend into row 2 (init + one
+  // row-parallel NOT, same pattern as the multiplier's inverted image but
+  // with nothing to overlap the init with).
+  {
+    std::vector<CellAddr> inv_cells;
+    std::vector<magic::NorOp> invert;
+    for (unsigned i = 0; i < n; ++i) {
+      const CellAddr dst{1, 2, i};
+      inv_cells.push_back(dst);
+      invert.push_back(magic::NorOp{dst, {CellAddr{1, 1, i}}});
+    }
+    engine.init_cells(inv_cells);
+    engine.nor_parallel(invert);
+  }
+  // a + ~b through the exact serial adder; its carry is the a > b
+  // predicate, an all-ones sum word the a == b predicate.
+  const RawAddResult sum =
+      run_serial_add(engine, /*block=*/1, /*a_row=*/0, /*b_row=*/2, n,
+                     /*scratch_base=*/3);
+  return delta.finish(sum.value, sum.carry_out);
+}
+
 CsaOutcome inmemory_csa(std::uint64_t a, std::uint64_t b, std::uint64_t c,
                         unsigned width, const device::EnergyModel& em,
                         magic::Tracer* tracer) {

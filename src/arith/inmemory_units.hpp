@@ -43,6 +43,14 @@ struct InMemoryResult {
     std::uint64_t a, std::uint64_t b, unsigned n,
     const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
 
+/// Three-way comparison support: complement-and-add over the serial MAGIC
+/// adder (see compare_units.hpp for the predicate decode). Returns the raw
+/// a + (~b & mask) sum under the usual carry-out contract; 12n + 3 cycles
+/// (complement init + row-parallel NOT + the 12n + 1 serial add).
+[[nodiscard]] InMemoryResult inmemory_compare(
+    std::uint64_t a, std::uint64_t b, unsigned n,
+    const device::EnergyModel& em, magic::Tracer* tracer = nullptr);
+
 /// One carry-save 3:2 stage over `width`-bit operands: 13 cycles
 /// independent of width. Returns sum and (aligned) carry words.
 struct CsaOutcome {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "arith/bitsliced.hpp"
+#include "arith/compare_units.hpp"
 #include "arith/inmemory_units.hpp"
 #include "arith/latency_model.hpp"
 #include "reliability/residue.hpp"
@@ -31,7 +32,7 @@ std::uint64_t ApimDevice::mul_magnitude(std::uint64_t a, std::uint64_t b) {
   // Op index BEFORE the increment: lane assignment and transient-fault
   // draws key off it, and it restarts per device clone, so host-parallel
   // chunking reproduces it for every thread count (apps/parallel.hpp).
-  const std::uint64_t op_index = stats_.multiplies + stats_.additions;
+  const std::uint64_t op_index = next_op_index();
   ++stats_.multiplies;
   std::uint64_t product;
   util::Cycles op_cycles;
@@ -73,7 +74,7 @@ unsigned adder_relax(const arith::ApproxConfig& approx,
 }  // namespace
 
 std::uint64_t ApimDevice::add_magnitude(std::uint64_t a, std::uint64_t b) {
-  const std::uint64_t op_index = stats_.multiplies + stats_.additions;
+  const std::uint64_t op_index = next_op_index();
   ++stats_.additions;
   const unsigned requested = adder_relax(config_.approx, config_.word_bits);
   std::uint64_t sum;
@@ -107,6 +108,68 @@ std::uint64_t ApimDevice::add_magnitude(std::uint64_t a, std::uint64_t b) {
   return sum;
 }
 
+std::uint64_t ApimDevice::cmp_magnitude(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t op_index = next_op_index();
+  ++stats_.comparisons;
+  const unsigned n = config_.word_bits;
+  const std::uint64_t bc = ~b & low_mask(n);  // Residue-check operand.
+  std::uint64_t sum;
+  util::Cycles op_cycles;
+  double op_energy;
+  if (config_.backend == Backend::kBitLevel) {
+    const arith::InMemoryResult r =
+        arith::inmemory_compare(a, b, n, config_.energy);
+    sum = r.value;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+  } else {
+    const arith::CompareOutcome r = arith::fast_compare(a, b, n,
+                                                        config_.energy);
+    sum = r.sum;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+  }
+  stats_.cycles += op_cycles;
+  stats_.energy_ops_pj += op_energy;
+  if (!config_.reliability.passive()) {
+    sum = protect_result(sum, a & low_mask(n), bc, n + 1,
+                         /*is_mul=*/false, /*exact=*/true, op_index,
+                         op_cycles, op_energy);
+  }
+  // word_bits <= 32, so the adder carry always sits in-band at bit n.
+  return arith::compare_code(sum, util::bit(sum, n) != 0, n);
+}
+
+std::uint64_t ApimDevice::popcnt_magnitude(std::uint64_t a) {
+  const std::uint64_t op_index = next_op_index();
+  ++stats_.popcounts;
+  const unsigned n = config_.word_bits;
+  std::uint64_t count;
+  util::Cycles op_cycles;
+  double op_energy;
+  if (config_.backend == Backend::kBitLevel) {
+    const arith::InMemoryResult r =
+        arith::inmemory_popcount(a, n, config_.energy);
+    count = r.value;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+  } else {
+    const arith::AddOutcome r = arith::fast_popcount(a, n, config_.energy);
+    count = r.sum;
+    op_cycles = r.cycles;
+    op_energy = r.energy_ops_pj;
+  }
+  stats_.cycles += op_cycles;
+  stats_.energy_ops_pj += op_energy;
+  if (!config_.reliability.passive()) {
+    count = protect_result(count, a & low_mask(n), 0,
+                           arith::popcount_width_cap(n),
+                           /*is_mul=*/false, /*exact=*/true, op_index,
+                           op_cycles, op_energy, /*has_residue=*/false);
+  }
+  return count;
+}
+
 void ApimDevice::mul_magnitude_batch(
     std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
     std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles) {
@@ -128,7 +191,7 @@ void ApimDevice::mul_magnitude_batch(
     // Replay the scalar mul_magnitude accounting per op, in op order.
     for (std::size_t k = 0; k < m; ++k) {
       const util::Cycles before = stats_.cycles;
-      const std::uint64_t op_index = stats_.multiplies + stats_.additions;
+      const std::uint64_t op_index = next_op_index();
       ++stats_.multiplies;
       const arith::MultiplyOutcome& r = slice[k];
       std::uint64_t product = r.product;
@@ -168,7 +231,7 @@ void ApimDevice::add_magnitude_batch(
                                std::span(slice.data(), m));
     for (std::size_t k = 0; k < m; ++k) {
       const util::Cycles before = stats_.cycles;
-      const std::uint64_t op_index = stats_.multiplies + stats_.additions;
+      const std::uint64_t op_index = next_op_index();
       ++stats_.additions;
       const arith::AddOutcome& r = slice[k];
       std::uint64_t sum = r.sum;
@@ -186,12 +249,66 @@ void ApimDevice::add_magnitude_batch(
   }
 }
 
+void ApimDevice::cmp_magnitude_batch(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+    std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles) {
+  assert(values.size() == ops.size() && op_cycles.size() == ops.size());
+  if (config_.backend != Backend::kBitsliced) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const util::Cycles before = stats_.cycles;
+      values[i] = cmp_magnitude(ops[i].first, ops[i].second);
+      op_cycles[i] = stats_.cycles - before;
+    }
+    return;
+  }
+  const unsigned n = config_.word_bits;
+  std::array<arith::CompareOutcome, arith::kBitsliceLanes> slice;
+  for (std::size_t lo = 0; lo < ops.size(); lo += arith::kBitsliceLanes) {
+    const std::size_t m = std::min(arith::kBitsliceLanes, ops.size() - lo);
+    arith::bitsliced_compare_slice(ops.subspan(lo, m), n, config_.energy,
+                                   std::span(slice.data(), m));
+    // Replay the scalar cmp_magnitude accounting per op, in op order.
+    for (std::size_t k = 0; k < m; ++k) {
+      const util::Cycles before = stats_.cycles;
+      const std::uint64_t op_index = next_op_index();
+      ++stats_.comparisons;
+      const arith::CompareOutcome& r = slice[k];
+      std::uint64_t sum = r.sum;
+      stats_.cycles += r.cycles;
+      stats_.energy_ops_pj += r.energy_ops_pj;
+      if (!config_.reliability.passive()) {
+        sum = protect_result(sum, ops[lo + k].first & low_mask(n),
+                             ~ops[lo + k].second & low_mask(n), n + 1,
+                             /*is_mul=*/false, /*exact=*/true, op_index,
+                             r.cycles, r.energy_ops_pj);
+      }
+      values[lo + k] = arith::compare_code(sum, util::bit(sum, n) != 0, n);
+      op_cycles[lo + k] = stats_.cycles - before;
+    }
+  }
+}
+
+void ApimDevice::popcnt_magnitude_batch(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+    std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles) {
+  assert(values.size() == ops.size() && op_cycles.size() == ops.size());
+  // No bitsliced fast path yet: the popcount tree plan is shared across
+  // lanes but per-lane evaluation already matches the word model exactly,
+  // so every host backend tier runs the scalar loop.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const util::Cycles before = stats_.cycles;
+    values[i] = popcnt_magnitude(ops[i].first);
+    op_cycles[i] = stats_.cycles - before;
+  }
+}
+
 std::uint64_t ApimDevice::protect_result(std::uint64_t raw, std::uint64_t a,
                                          std::uint64_t b, unsigned out_bits,
                                          bool is_mul, bool exact,
                                          std::uint64_t op_index,
                                          util::Cycles exec_cycles,
-                                         double exec_energy) {
+                                         double exec_energy,
+                                         bool has_residue) {
   const reliability::ReliabilityConfig& rel = config_.reliability;
   const reliability::LaneFaultTable& faults = rel.faults;
   const std::size_t lane = faults.lane_of(op_index);
@@ -200,28 +317,25 @@ std::uint64_t ApimDevice::protect_result(std::uint64_t raw, std::uint64_t a,
                    /*attempt=*/0);
 
   using reliability::ReliabilityPolicy;
-  switch (rel.policy) {
-    case ReliabilityPolicy::kOff:
-      return value;
-    case ReliabilityPolicy::kTripleVote: {
-      // Domains 1 and 2 run the same schedule concurrently on their
-      // redundant processing blocks: latency overlaps (plus a vote step
-      // at the sense amps), energy triples.
-      const std::uint64_t v1 =
-          faults.apply(lane, 1, is_mul, raw, out_bits, op_index, 0);
-      const std::uint64_t v2 =
-          faults.apply(lane, 2, is_mul, raw, out_bits, op_index, 0);
-      stats_.energy_ops_pj +=
-          2.0 * exec_energy +
-          static_cast<double>(out_bits) * config_.energy.e_maj_pj;
-      stats_.cycles += 2;
-      ++stats_.votes;
-      if (value != v1 || value != v2) ++stats_.faults_detected;
-      return (value & v1) | (value & v2) | (v1 & v2);
-    }
-    case ReliabilityPolicy::kDetectOnly:
-    case ReliabilityPolicy::kDetectAndRepair:
-      break;
+  if (rel.policy == ReliabilityPolicy::kOff) return value;
+  // Ops with no residue identity (popcount) cannot be arbitrated by the
+  // detect policies' mod-3 check, so every active policy protects them the
+  // spatial way.
+  if (rel.policy == ReliabilityPolicy::kTripleVote || !has_residue) {
+    // Domains 1 and 2 run the same schedule concurrently on their
+    // redundant processing blocks: latency overlaps (plus a vote step
+    // at the sense amps), energy triples.
+    const std::uint64_t v1 =
+        faults.apply(lane, 1, is_mul, raw, out_bits, op_index, 0);
+    const std::uint64_t v2 =
+        faults.apply(lane, 2, is_mul, raw, out_bits, op_index, 0);
+    stats_.energy_ops_pj +=
+        2.0 * exec_energy +
+        static_cast<double>(out_bits) * config_.energy.e_maj_pj;
+    stats_.cycles += 2;
+    ++stats_.votes;
+    if (value != v1 || value != v2) ++stats_.faults_detected;
+    return (value & v1) | (value & v2) | (v1 & v2);
   }
 
   // Residue codes arbitrate only EXACT results: an approximate op

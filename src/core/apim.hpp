@@ -60,6 +60,19 @@ class ApimDevice {
   /// word_bits-wide magnitude addition (carry out preserved).
   [[nodiscard]] std::uint64_t add_magnitude(std::uint64_t a, std::uint64_t b);
 
+  /// word_bits-wide three-way magnitude comparison: returns
+  /// arith::kCmpLt / kCmpEq / kCmpGt. Always exact regardless of the
+  /// device's relax setting (predicates and join keys are the exactness
+  /// domain); the underlying complement-add is residue-protected like any
+  /// other exact add.
+  [[nodiscard]] std::uint64_t cmp_magnitude(std::uint64_t a, std::uint64_t b);
+
+  /// Popcount of the low word_bits bits of `a` via the Wallace tree-add of
+  /// its bits. No mod-3 residue identity relates the count to the input,
+  /// so active reliability policies protect it by spatial triple-vote
+  /// instead of residue checks.
+  [[nodiscard]] std::uint64_t popcnt_magnitude(std::uint64_t a);
+
   // -- Batched magnitude operations ----------------------------------------
   //
   // Semantically identical to calling the scalar op once per pair in order:
@@ -75,6 +88,14 @@ class ApimDevice {
       std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
       std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles);
   void add_magnitude_batch(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+      std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles);
+  void cmp_magnitude_batch(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
+      std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles);
+  /// Popcount batch; `ops[i].second` is ignored (pair-shaped for symmetry
+  /// with the other batch entry points and serve::Request operands).
+  void popcnt_magnitude_batch(
       std::span<const std::pair<std::uint64_t, std::uint64_t>> ops,
       std::span<std::uint64_t> values, std::span<util::Cycles> op_cycles);
 
@@ -192,13 +213,24 @@ class ApimDevice {
   /// `exec_cycles`/`exec_energy` are the cost of ONE execution of the op,
   /// used to charge retries and redundant vote copies; `exact` says
   /// whether the raw value is bit-exact (residue checking needs that).
+  /// `has_residue` says whether a mod-3 identity over (a, b) checks the
+  /// result; ops without one (popcount) fall back to triple-vote under the
+  /// detect policies.
   [[nodiscard]] std::uint64_t protect_result(std::uint64_t raw,
                                              std::uint64_t a, std::uint64_t b,
                                              unsigned out_bits, bool is_mul,
                                              bool exact,
                                              std::uint64_t op_index,
                                              util::Cycles exec_cycles,
-                                             double exec_energy);
+                                             double exec_energy,
+                                             bool has_residue = true);
+
+  /// Shared op-index base: every magnitude op keys its lane assignment and
+  /// fault draws off the count of ops issued before it, device-clone-local.
+  [[nodiscard]] std::uint64_t next_op_index() const noexcept {
+    return stats_.multiplies + stats_.additions + stats_.comparisons +
+           stats_.popcounts;
+  }
 
   ApimConfig config_;
   ExecStats stats_;

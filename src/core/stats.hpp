@@ -10,6 +10,8 @@ namespace apim::core {
 struct ExecStats {
   std::uint64_t multiplies = 0;
   std::uint64_t additions = 0;
+  std::uint64_t comparisons = 0;  ///< Three-way compares (analytics ops).
+  std::uint64_t popcounts = 0;    ///< In-memory popcount reductions.
   util::Cycles cycles = 0;         ///< Total lane-cycles issued.
   double energy_ops_pj = 0.0;      ///< Micro-op energy (no cycle overhead).
   std::uint64_t partial_products = 0;  ///< Generated across all multiplies.
@@ -31,6 +33,8 @@ struct ExecStats {
   void merge(const ExecStats& other) {
     multiplies += other.multiplies;
     additions += other.additions;
+    comparisons += other.comparisons;
+    popcounts += other.popcounts;
     cycles += other.cycles;
     energy_ops_pj += other.energy_ops_pj;
     partial_products += other.partial_products;

@@ -60,10 +60,20 @@ BatchExecution execute_batch(
         const auto ops = std::span(flat).subspan(lo, hi - lo);
         const auto vals = std::span(per_op_value).subspan(lo, hi - lo);
         const auto cycles = std::span(per_op_cycles).subspan(lo, hi - lo);
-        if (key.op == OpKind::kMultiply)
-          worker.mul_magnitude_batch(ops, vals, cycles);
-        else
-          worker.add_magnitude_batch(ops, vals, cycles);
+        switch (key.op) {
+          case OpKind::kMultiply:
+            worker.mul_magnitude_batch(ops, vals, cycles);
+            break;
+          case OpKind::kVectorAdd:
+            worker.add_magnitude_batch(ops, vals, cycles);
+            break;
+          case OpKind::kCompare:
+            worker.cmp_magnitude_batch(ops, vals, cycles);
+            break;
+          case OpKind::kPopcount:
+            worker.popcnt_magnitude_batch(ops, vals, cycles);
+            break;
+        }
         chunk_stats[lo / kExecutorGrain] = worker.stats();
       });
 
@@ -71,16 +81,18 @@ BatchExecution execute_batch(
 
   // Serial merge in op order: distribute values back to members and
   // account latency per the op kind's parallelism model.
+  // Adder-pass shapes (add/compare/popcount) are row-parallel: one lane,
+  // shared serial pass. Only multiplies spread over the stream's lanes.
   out.lanes_used =
-      key.op == OpKind::kVectorAdd ? 1 : std::min(lanes, total_ops);
+      key.op == OpKind::kMultiply ? std::min(lanes, total_ops) : 1;
   std::vector<util::Cycles> lane_cycles(out.lanes_used, 0);
   std::size_t op = 0;
   for (std::size_t m = 0; m < members.size(); ++m) {
     out.values[m].reserve(members[m].size());
     for (std::size_t j = 0; j < members[m].size(); ++j, ++op) {
       out.values[m].push_back(per_op_value[op]);
-      if (key.op == OpKind::kVectorAdd) {
-        // Row-parallel: every add shares the pass; the slowest op (retry
+      if (key.op != OpKind::kMultiply) {
+        // Row-parallel: every op shares the pass; the slowest op (retry
         // ladders can lengthen one) bounds the batch.
         lane_cycles[0] = std::max(lane_cycles[0], per_op_cycles[op]);
       } else {

@@ -13,8 +13,9 @@
 //  * kMultiply — ops round-robin over the stream's lanes (the same
 //    discipline as arith::fast_multiply_batch); the batch makespan is the
 //    slowest lane's cycle sum.
-//  * kVectorAdd — row-parallel inside a tile (arith/vector_unit.hpp): all
-//    adds share one pass, so the makespan is the slowest SINGLE op and one
+//  * kVectorAdd / kCompare / kPopcount — row-parallel inside a tile
+//    (arith/vector_unit.hpp): these are all adder-pass schedules, so every
+//    op shares one pass, the makespan is the slowest SINGLE op and one
 //    lane is occupied, while energy scales with the count.
 #pragma once
 

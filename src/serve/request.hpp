@@ -21,11 +21,15 @@
 namespace apim::serve {
 
 /// Which in-memory schedule a request needs. Multiplies round-robin over
-/// the stream's lanes; vector adds are row-parallel inside a tile (one
-/// lane, shared 12n+1-cycle pass — arith/vector_unit.hpp).
+/// the stream's lanes; vector adds — and the other adder-pass shapes,
+/// compares (complement-add, arith/compare_units.hpp) and popcounts
+/// (degenerate tree-add) — are row-parallel inside a tile (one lane,
+/// shared serial pass — arith/vector_unit.hpp).
 enum class OpKind : std::uint8_t {
   kMultiply,
   kVectorAdd,
+  kCompare,   ///< Three-way compare; values are arith::kCmpLt/kCmpEq/kCmpGt.
+  kPopcount,  ///< Set-bit count of operand.first (operand.second ignored).
 };
 
 enum class RequestStatus : std::uint8_t {
@@ -40,6 +44,8 @@ enum class RequestStatus : std::uint8_t {
   switch (op) {
     case OpKind::kMultiply: return "mul";
     case OpKind::kVectorAdd: return "add";
+    case OpKind::kCompare: return "cmp";
+    case OpKind::kPopcount: return "popcnt";
   }
   return "?";
 }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "arith/compare_units.hpp"
 #include "serve/batcher.hpp"
 #include "serve/executor.hpp"
 #include "serve/scheduler.hpp"
@@ -42,9 +43,21 @@ namespace {
 double golden_value(OpKind op, unsigned width, std::uint64_t a,
                     std::uint64_t b) {
   const std::uint64_t cap = util::mask_n(width);
-  const double ca = static_cast<double>(std::min(a, cap));
-  const double cb = static_cast<double>(std::min(b, cap));
-  return op == OpKind::kMultiply ? ca * cb : ca + cb;
+  const std::uint64_t ca = std::min(a, cap);
+  const std::uint64_t cb = std::min(b, cap);
+  switch (op) {
+    case OpKind::kMultiply:
+      return static_cast<double>(ca) * static_cast<double>(cb);
+    case OpKind::kVectorAdd:
+      return static_cast<double>(ca) + static_cast<double>(cb);
+    case OpKind::kCompare:
+      return static_cast<double>(ca < cb   ? arith::kCmpLt
+                                 : ca == cb ? arith::kCmpEq
+                                            : arith::kCmpGt);
+    case OpKind::kPopcount:
+      return static_cast<double>(util::popcount(ca));
+  }
+  return 0.0;
 }
 
 SchedulerConfig scheduler_config(const ServerConfig& cfg) {

@@ -1,0 +1,194 @@
+// Golden-result tests for the TPC-H-style queries (src/analytics/tpch.*):
+// fixed seeds, committed expected values, exact integer compares — any
+// drift in the generator, the operators, the micro-kernels, or the serving
+// path that perturbs a query result fails here. A metamorphic companion
+// checks row-permutation invariance: shuffling the base tables' rows must
+// leave every aggregate-level result untouched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "analytics/runner.hpp"
+#include "analytics/tpch.hpp"
+#include "core/config.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using apim::analytics::AggRow;
+using apim::analytics::Q3Result;
+using apim::analytics::Q6Result;
+using apim::analytics::Runner;
+using apim::analytics::RunnerConfig;
+using apim::analytics::Table;
+using apim::analytics::TpchConfig;
+using apim::analytics::TpchTables;
+
+Runner make_runner(apim::core::Backend backend) {
+  RunnerConfig cfg;
+  cfg.server.streams = 2;
+  cfg.server.lanes_per_stream = 16;
+  cfg.server.queue_capacity = 64;
+  cfg.server.batch_window = 500;
+  cfg.server.device.backend = backend;
+  return Runner(cfg);
+}
+
+/// FNV-1a digest over a stream of words: the committed fingerprint of the
+/// full structured results (per-group rows, sorted revenues).
+class Digest {
+ public:
+  void add(std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void add_rows(const std::vector<AggRow>& rows) {
+    add(rows.size());
+    for (const AggRow& r : rows) {
+      add(r.key);
+      add(r.count);
+      add(r.sum);
+      add(r.min);
+      add(r.max);
+      add(r.avg_q);
+      add(r.avg_r);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+struct QueryResults {
+  Q6Result q6;
+  std::vector<AggRow> q1;
+  Q3Result q3;
+};
+
+QueryResults run_queries(Runner& runner, const TpchTables& t) {
+  QueryResults r;
+  r.q6 = apim::analytics::q6_revenue(runner, t);
+  r.q1 = apim::analytics::q1_pricing_summary(runner, t);
+  r.q3 = apim::analytics::q3_shipping_priority(runner, t);
+  return r;
+}
+
+std::uint64_t digest_of(const QueryResults& r) {
+  Digest d;
+  d.add(r.q6.matching_rows);
+  d.add(r.q6.revenue);
+  d.add_rows(r.q1);
+  d.add(r.q3.qualifying_orders);
+  d.add(r.q3.join_pairs);
+  d.add_rows(r.q3.by_cust);
+  d.add(r.q3.revenue_sorted.size());
+  for (const std::uint64_t v : r.q3.revenue_sorted) d.add(v);
+  return d.value();
+}
+
+/// Committed goldens: captured from the seed-pinned generator and the
+/// exact operators; all three backends must reproduce them bit for bit.
+struct Golden {
+  std::uint64_t seed;
+  std::uint64_t lineitem_rows;
+  std::uint64_t q6_matching;
+  std::uint64_t q6_revenue;
+  std::uint64_t q1_groups;
+  std::uint64_t q3_orders;
+  std::uint64_t q3_pairs;
+  std::uint64_t digest;
+};
+
+constexpr Golden kGoldens[] = {
+    {1, 122, 39, 64835, 7, 28, 70, 12963465657971113130ull},
+    {2, 102, 28, 48004, 7, 32, 81, 10130348949340463822ull},
+};
+
+TpchConfig config_for(std::uint64_t seed) {
+  TpchConfig cfg;
+  cfg.orders = 48;
+  cfg.lines_per_order_max = 5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(AnalyticsGolden, FixedSeedResults) {
+  for (const auto backend :
+       {apim::core::Backend::kFast, apim::core::Backend::kBitsliced}) {
+    for (const Golden& g : kGoldens) {
+      const TpchTables t = apim::analytics::make_tables(config_for(g.seed));
+      Runner runner = make_runner(backend);
+      const QueryResults r = run_queries(runner, t);
+      EXPECT_EQ(t.lineitem.rows(), g.lineitem_rows) << "seed " << g.seed;
+      EXPECT_EQ(r.q6.matching_rows, g.q6_matching) << "seed " << g.seed;
+      EXPECT_EQ(r.q6.revenue, g.q6_revenue) << "seed " << g.seed;
+      EXPECT_EQ(r.q1.size(), g.q1_groups) << "seed " << g.seed;
+      EXPECT_EQ(r.q3.qualifying_orders, g.q3_orders) << "seed " << g.seed;
+      EXPECT_EQ(r.q3.join_pairs, g.q3_pairs) << "seed " << g.seed;
+      EXPECT_EQ(digest_of(r), g.digest) << "seed " << g.seed;
+    }
+  }
+}
+
+// -- Metamorphic: row-permutation invariance ---------------------------------
+
+Table permute_rows(const Table& in, apim::util::Xoshiro256& rng) {
+  std::vector<std::size_t> perm(in.rows());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::shuffle(perm.begin(), perm.end(), rng);
+  Table out;
+  for (const auto& col : in.columns) {
+    apim::analytics::Column c;
+    c.name = col.name;
+    c.width = col.width;
+    c.values.reserve(col.values.size());
+    for (const std::size_t src : perm) c.values.push_back(col.values[src]);
+    out.columns.push_back(std::move(c));
+  }
+  return out;
+}
+
+void expect_rows_equal(const std::vector<AggRow>& a,
+                       const std::vector<AggRow>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << what << " group " << i;
+    EXPECT_EQ(a[i].count, b[i].count) << what << " group " << i;
+    EXPECT_EQ(a[i].sum, b[i].sum) << what << " group " << i;
+    EXPECT_EQ(a[i].min, b[i].min) << what << " group " << i;
+    EXPECT_EQ(a[i].max, b[i].max) << what << " group " << i;
+    EXPECT_EQ(a[i].avg_q, b[i].avg_q) << what << " group " << i;
+    EXPECT_EQ(a[i].avg_r, b[i].avg_r) << what << " group " << i;
+  }
+}
+
+TEST(AnalyticsGolden, RowPermutationInvariance) {
+  const TpchTables base = apim::analytics::make_tables(config_for(1));
+  Runner ref_runner = make_runner(apim::core::Backend::kBitsliced);
+  const QueryResults ref = run_queries(ref_runner, base);
+
+  apim::util::Xoshiro256 rng(0x5e1ec7);
+  for (int round = 0; round < 3; ++round) {
+    TpchTables shuffled;
+    shuffled.orders = permute_rows(base.orders, rng);
+    shuffled.lineitem = permute_rows(base.lineitem, rng);
+    Runner runner = make_runner(apim::core::Backend::kBitsliced);
+    const QueryResults got = run_queries(runner, shuffled);
+
+    EXPECT_EQ(got.q6.matching_rows, ref.q6.matching_rows);
+    EXPECT_EQ(got.q6.revenue, ref.q6.revenue);
+    expect_rows_equal(got.q1, ref.q1, "q1");
+    EXPECT_EQ(got.q3.qualifying_orders, ref.q3.qualifying_orders);
+    EXPECT_EQ(got.q3.join_pairs, ref.q3.join_pairs);
+    expect_rows_equal(got.q3.by_cust, ref.q3.by_cust, "q3.by_cust");
+    EXPECT_EQ(got.q3.revenue_sorted, ref.q3.revenue_sorted);
+  }
+}
+
+}  // namespace

@@ -33,19 +33,11 @@ struct ClusterOutcome {
   cluster::ClusterSnapshot snap;
 };
 
-/// Zipf(s) popularity weights for `n` tenants, normalized to sum 1; rank 0
-/// is the hottest. The classic heavy-tail skew (s ~ 1.1 models web-like
-/// tenant popularity).
+/// Zipf(s) popularity weights; shared with the other harnesses
+/// (tests/workload_harness.hpp). Rank 0 is the hottest.
 [[nodiscard]] inline std::vector<double> zipf_weights(std::size_t n,
                                                       double s) {
-  std::vector<double> w(n);
-  double sum = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
-    sum += w[k];
-  }
-  for (double& x : w) x /= sum;
-  return w;
+  return workload_harness::zipf_weights(n, s);
 }
 
 /// Tenants "z00".."zNN" whose offered rates follow Zipf(s) popularity,

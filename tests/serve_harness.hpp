@@ -24,6 +24,7 @@
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "workload_harness.hpp"
 
 namespace apim::serve_harness {
 
@@ -59,18 +60,12 @@ struct Outcome {
   serve::MetricsSnapshot snap;
 };
 
-/// Independent per-tenant RNG stream: FNV-1a(name) mixes the tenant
-/// identity, XOR folds in the scenario seed, splitmix64 decorrelates
-/// nearby seeds. Stable under tenant reordering.
+/// Independent per-tenant RNG stream; the seed derivation is shared with
+/// the other harnesses (tests/workload_harness.hpp). Stable under tenant
+/// reordering.
 [[nodiscard]] inline std::uint64_t tenant_seed(std::uint64_t scenario_seed,
                                                const std::string& name) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  std::uint64_t state = h ^ scenario_seed;
-  return util::splitmix64(state);
+  return workload_harness::seeded_stream(scenario_seed, name);
 }
 
 /// One tenant's open-loop trace, drawn from its own RNG stream.

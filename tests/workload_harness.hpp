@@ -1,0 +1,62 @@
+// Workload-synthesis helpers shared by the serving, cluster, and
+// analytics harnesses (tests/serve_harness.hpp, tests/cluster_harness.hpp,
+// tests/analytics_harness.hpp) and the benches that reuse them.
+//
+// Only seed derivation and skew shaping live here — anything touching
+// serve/cluster/analytics types stays in the layer-specific harness.
+// gtest-free, header-only.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace apim::workload_harness {
+
+/// Independent named RNG stream under one scenario seed: FNV-1a(name)
+/// mixes the identity, XOR folds in the scenario seed, splitmix64
+/// decorrelates nearby seeds. Adding a stream or reordering the stream
+/// list never perturbs another stream's draw sequence.
+[[nodiscard]] inline std::uint64_t seeded_stream(std::uint64_t scenario_seed,
+                                                 const std::string& name) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::uint64_t state = h ^ scenario_seed;
+  return util::splitmix64(state);
+}
+
+/// Zipf(s) popularity weights for `n` ranks, normalized to sum 1; rank 0
+/// is the hottest. The classic heavy-tail skew (s ~ 1.1 models web-like
+/// popularity); used for tenant rates and for skewed analytic keys.
+[[nodiscard]] inline std::vector<double> zipf_weights(std::size_t n,
+                                                      double s) {
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    sum += w[k];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+/// One draw from the weight vector's discrete distribution (weights must
+/// sum to ~1; the final rank absorbs rounding).
+[[nodiscard]] inline std::size_t draw_rank(util::Xoshiro256& rng,
+                                           const std::vector<double>& w) {
+  double u = rng.next_double();
+  for (std::size_t k = 0; k + 1 < w.size(); ++k) {
+    if (u < w[k]) return k;
+    u -= w[k];
+  }
+  return w.empty() ? 0 : w.size() - 1;
+}
+
+}  // namespace apim::workload_harness
