@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
+#include "analysis/trace_check.hpp"
+#include "serve/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -78,6 +81,34 @@ std::string json_output_path(int argc, char** argv) {
     if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) return argv[i + 1];
   }
   return {};
+}
+
+std::string trace_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) return arg + 8;
+    if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+void finish_trace_capture(const std::string& path,
+                          const serve::trace::EventLog& log,
+                          ShapeChecker& checker) {
+  if (path.empty()) return;
+  checker.check("captured event trace is complete (no overflow)",
+                !log.overflowed());
+  const std::string verdict = analysis::verify_trace(log);
+  if (!verdict.empty()) std::printf("%s", verdict.c_str());
+  checker.check("captured event trace replays clean (trace_check)",
+                verdict.empty());
+  std::ofstream out(path);
+  out << log.serialize();
+  if (out)
+    std::printf("Wrote %s (%zu events)\n", path.c_str(),
+                log.events().size());
+  else
+    std::printf("WARNING: cannot write trace to %s\n", path.c_str());
 }
 
 std::string csv_output_path(int argc, char** argv,

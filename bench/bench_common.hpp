@@ -18,6 +18,10 @@
 #include "quality/qos.hpp"
 #include "util/json.hpp"
 
+namespace apim::serve::trace {
+class EventLog;
+}  // namespace apim::serve::trace
+
 namespace apim::bench {
 
 /// Collects named pass/fail checks and renders a summary.
@@ -79,6 +83,21 @@ std::size_t configure_threads(int argc, char** argv);
 /// empty string when the flag is absent. The bench writes a JsonValue
 /// report there in addition to its human tables and CSVs.
 [[nodiscard]] std::string json_output_path(int argc, char** argv);
+
+/// Runtime-trace output knob shared by the serving-layer benches: parses
+/// `--trace <path>` (or `--trace=path`) from argv. Returns the path, or an
+/// empty string when the flag is absent. When set, the bench attaches a
+/// serve::trace::EventLog to one representative run, verifies it in
+/// process (analysis::verify_trace, as a shape check) and writes the
+/// apim-trace v1 text there for tools/apim_trace_lint.
+[[nodiscard]] std::string trace_output_path(int argc, char** argv);
+
+/// Finish a `--trace` capture: add two shape checks (the log did not
+/// overflow; analysis::verify_trace replays it clean) and serialize the
+/// apim-trace v1 text to `path`. No-op when `path` is empty.
+void finish_trace_capture(const std::string& path,
+                          const serve::trace::EventLog& log,
+                          ShapeChecker& checker);
 
 /// CSV output knob shared by the bench binaries: parses `--out <path>`
 /// (or `--out=path`) from argv, falling back to `default_name` — a bare

@@ -21,13 +21,16 @@
 // losing one of four streams leaves headroom), making the story robust to
 // device-model changes.
 //
-// Flags: --threads N, --json <path>, --smoke (smaller traces for CI).
+// Flags: --threads N, --json <path>, --smoke (smaller traces for CI),
+// --trace <path> (capture the chaos-on run's event log, verify it in
+// process and write apim-trace v1 for apim_trace_lint).
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/trace.hpp"
 #include "serve_chaos_harness.hpp"
 #include "serve_harness.hpp"
 #include "util/csv.hpp"
@@ -89,6 +92,8 @@ int main(int argc, char** argv) {
   const std::size_t threads = apim::bench::configure_threads(argc, argv);
   const bool smoke = apim::bench::has_flag(argc, argv, "--smoke");
   const std::string json_path = apim::bench::json_output_path(argc, argv);
+  const std::string trace_path = apim::bench::trace_output_path(argc, argv);
+  apim::serve::trace::EventLog trace_log;
 
   std::printf("Chaos A/B: seeded decay + mid-serve domain kill, health "
               "layer on vs off\n");
@@ -159,12 +164,19 @@ int main(int argc, char** argv) {
   // weaker headline). Probe a fixed ladder of mid-serve instants and keep
   // the first that catches it busy — deterministic, and robust to device
   // -model changes shifting the dispatch timeline.
+  // The chaos-on run is the event stream --trace captures (quarantines,
+  // aborts, relocations, scrubs). The log restarts with each probe so the
+  // kept capture covers exactly the kept run; the baseline/off runs below
+  // detach the pointer before they copy the spec.
+  if (!trace_path.empty()) spec.scenario.server.trace = &trace_log;
   ChaosRun on_run;
   for (const double frac : {0.40, 0.45, 0.50, 0.55, 0.60, 0.35, 0.30}) {
     spec.kill_at = static_cast<apim::util::Cycles>(frac * span_est);
+    trace_log.clear();
     on_run = make_run("chaos-on", apim::serve_harness::run_chaos(spec, true));
     if (on_run.out.snap.relocated_requests > 0) break;
   }
+  spec.scenario.server.trace = nullptr;
   std::printf("offered load: %.0f%% of capacity; kill domain %zu at cycle "
               "%llu\n\n",
               100.0 * offered * mean_ops / capacity, spec.kill_domain,
@@ -261,6 +273,7 @@ int main(int argc, char** argv) {
                 total_quarantines(off_run.out) == 0 &&
                     off_run.out.snap.relocated_requests == 0 &&
                     off_run.out.snap.scrub_passes == 0);
+  apim::bench::finish_trace_capture(trace_path, trace_log, checker);
   const int exit_code = checker.finish();
 
   if (!json_path.empty()) {

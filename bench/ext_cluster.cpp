@@ -19,13 +19,15 @@
 // robust to device-model changes.
 //
 // Flags: --threads N, --json <path>, --out <csv>, --smoke (smaller
-// traces for CI).
+// traces for CI), --trace <path> (capture the migrate run's event log,
+// verify it in process and write apim-trace v1 for apim_trace_lint).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "cluster_harness.hpp"
+#include "serve/trace.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
   const std::size_t threads = apim::bench::configure_threads(argc, argv);
   const bool smoke = apim::bench::has_flag(argc, argv, "--smoke");
   const std::string json_path = apim::bench::json_output_path(argc, argv);
+  const std::string trace_path = apim::bench::trace_output_path(argc, argv);
+  apim::serve::trace::EventLog trace_log;
 
   std::printf(
       "Multi-chip sharded cluster: hot-shard migration vs static "
@@ -119,6 +123,9 @@ int main(int argc, char** argv) {
 
   ClusterScenario fixed = base;
   fixed.cluster.rebalance.enabled = false;
+  // Attach after the static copy so only the migrate run (forwards,
+  // response legs, migrations) lands in the captured log.
+  if (!trace_path.empty()) base.cluster.trace = &trace_log;
 
   const ClusterRun static_run = run("static", fixed);
   const ClusterRun migrate_run = run("migrate", base);
@@ -208,6 +215,7 @@ int main(int argc, char** argv) {
   checker.check("interconnect energy is charged, not free",
                 migrate_run.out.snap.interconnect_energy_pj > 0.0 &&
                     migrate_run.out.snap.migration_energy_pj > 0.0);
+  apim::bench::finish_trace_capture(trace_path, trace_log, checker);
   const int exit_code = checker.finish();
 
   if (!json_path.empty()) {

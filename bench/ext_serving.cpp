@@ -19,7 +19,9 @@
 // only difference is HOST wall-clock cost, reported as
 // bitsliced_vs_word_host_speedup (>= 5x required in full mode).
 //
-// Flags: --threads N, --json <path>, --smoke (tiny trace for CI).
+// Flags: --threads N, --json <path>, --smoke (tiny trace for CI),
+// --trace <path> (capture the batched saturation point's event log,
+// verify it in process and write apim-trace v1 for apim_trace_lint).
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -29,6 +31,7 @@
 #include "bench_common.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/server.hpp"
+#include "serve/trace.hpp"
 #include "serve_harness.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
   const std::size_t threads = apim::bench::configure_threads(argc, argv);
   const bool smoke = apim::bench::has_flag(argc, argv, "--smoke");
   const std::string json_path = apim::bench::json_output_path(argc, argv);
+  const std::string trace_path = apim::bench::trace_output_path(argc, argv);
+  apim::serve::trace::EventLog trace_log;
 
   std::printf("Serving runtime: open-loop throughput-latency sweep\n");
   std::printf("(host threads: %zu%s)\n\n", threads, smoke ? ", smoke" : "");
@@ -97,7 +102,14 @@ int main(int argc, char** argv) {
       gen.max_ops = 8;
       gen.width = 32;
 
-      Server server(make_server_config(batched), table);
+      ServerConfig cfg = make_server_config(batched);
+      // The batched saturation point is the richest event stream (credit
+      // contention, coalescing, deep queues) — that is the run captured
+      // for --trace. Tracing is observational, so attaching the log here
+      // does not perturb the sweep.
+      if (!trace_path.empty() && batched && rate == rates.back())
+        cfg.trace = &trace_log;
+      Server server(cfg, table);
       (void)server.run_trace(apim::serve::make_open_loop_trace(gen));
       points.push_back(SweepPoint{rate, batched, server.snapshot()});
     }
@@ -250,6 +262,8 @@ int main(int argc, char** argv) {
         s.completed + s.rejected + s.expired + s.invalid == s.submitted &&
             s.p50_latency_cycles <= s.p99_latency_cycles);
   }
+
+  apim::bench::finish_trace_capture(trace_path, trace_log, checker);
 
   const int exit_code = checker.finish();
 

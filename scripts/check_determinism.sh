@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Determinism source lint: the engines' A/B contracts (tracing-off
+# bit-identity, cross-backend equivalence, golden CSVs, the trace
+# verifier's replay) all assume src/ is a pure function of the scenario
+# seed. This grep-level gate bans the common hazards outright:
+#
+#   * C PRNG / OS entropy: std::rand, srand, rand(), std::random_device —
+#     randomness comes from the explicitly seeded util/rng.hpp generators;
+#   * wall-clock reads: time(), gettimeofday(), the std::chrono clocks —
+#     simulated time is util::Cycles, advanced only by the event loops;
+#   * unordered associative containers, whose iteration order is
+#     implementation-defined and must never feed served results or
+#     metrics. A use that is provably lookup-only may carry a
+#     `determinism-audited: <reason>` comment on the same or the
+#     immediately preceding line to be allowed.
+#
+# Matching happens on a //-comment-stripped view of each file so prose may
+# mention the banned names. Exits 1 with file:line diagnostics, 0 clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HAZARDS='std::rand\b|\bsrand\(|\brand\(|random_device|\btime\(|\bgettimeofday\b|\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b'
+
+status=0
+while IFS= read -r file; do
+  # Hazard symbols, on comment-stripped lines (numbers preserved).
+  found=$(sed 's|//.*||' "$file" | grep -nE "$HAZARDS" || true)
+  if [[ -n "$found" ]]; then
+    while IFS= read -r hit; do
+      echo "$file:${hit%%:*}: error: nondeterminism hazard: ${hit#*:}" \
+        | tr -s ' '
+    done <<<"$found"
+    status=1
+  fi
+
+  # Unordered containers: declarations (not #include lines) need the
+  # determinism-audited annotation nearby.
+  if ! awk -v file="$file" '
+      /determinism-audited/ { audited = NR }
+      /unordered_(map|set)/ && !/#include/ {
+        if (audited != NR && audited != NR - 1) {
+          printf "%s:%d: error: unordered container without a " \
+                 "determinism-audited annotation (iteration order is " \
+                 "implementation-defined)\n", file, NR
+          bad = 1
+        }
+      }
+      END { exit bad }' "$file"; then
+    status=1
+  fi
+done < <(find src -name '*.hpp' -o -name '*.cpp' | sort)
+
+if [[ "$status" -ne 0 ]]; then
+  echo "check_determinism: FAILED (seed-determinism hazards above)"
+  exit 1
+fi
+echo "check_determinism: src/ is free of nondeterminism hazards."

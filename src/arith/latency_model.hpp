@@ -21,6 +21,14 @@ namespace apim::arith {
 /// One 3:2 carry-save stage, any width: 13.
 [[nodiscard]] constexpr util::Cycles csa_cycles() noexcept { return 13; }
 
+/// Three-way compare of two n-bit magnitudes: 12n + 3. The complement
+/// pass (one shared init + one row-parallel NOT of the subtrahend) in
+/// front of the exact serial add whose carry chain carries the predicate
+/// (see arith/compare_units.hpp).
+[[nodiscard]] constexpr util::Cycles compare_cycles(unsigned n) noexcept {
+  return serial_add_cycles(n) + 2;
+}
+
 /// Wallace-tree reduction of `operands` addends to two: 13 per stage.
 [[nodiscard]] util::Cycles tree_reduce_cycles(std::size_t operands) noexcept;
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "serve/health.hpp"
+#include "serve/trace.hpp"
 
 namespace apim::cluster {
 
@@ -36,12 +37,26 @@ struct Cluster::Impl {
         table(std::move(t)),
         placement(cfg.shards, cfg.chips, cfg.seed, cfg.placement_overrides),
         rebalancer(cfg.shards, cfg.rebalance) {
+    // The cluster fills its half of a shared trace header; the first chip
+    // fills the serve half (one replicated ServerConfig across chips).
+    if (cfg.trace != nullptr) {
+      serve::trace::Meta& m = cfg.trace->meta;
+      m.chips = cfg.chips;
+      m.shards = cfg.shards;
+      m.topology = cfg.topology == Topology::kStar ? 0 : 1;
+      m.hop_latency_cycles = cfg.interconnect.hop_latency_cycles;
+      m.link_bits = cfg.interconnect.link_bits;
+      m.pj_per_bit_hop = cfg.interconnect.pj_per_bit_hop;
+      m.shard_bits = cfg.shard_bits;
+    }
     servers.reserve(cfg.chips);
     for (std::size_t chip = 0; chip < cfg.chips; ++chip) {
       serve::ServerConfig sc = cfg.server;
       const auto it = cfg.chip_fault_schedules.find(chip);
       if (it != cfg.chip_fault_schedules.end())
         sc.health.fault_schedule = it->second;
+      sc.trace = cfg.trace;
+      sc.trace_chip = static_cast<std::int32_t>(chip);
       servers.push_back(std::make_unique<serve::Server>(sc, table));
     }
   }
@@ -87,6 +102,16 @@ struct Cluster::Impl {
   /// forward leg when the addressed chip differs. `base` is the earliest
   /// cycle the request can leave the addressed chip (its arrival, or the
   /// commit time of the migration that held it).
+  /// Cluster-scope trace event (chip = -1), stamped at the loop clock.
+  [[nodiscard]] serve::trace::Event cev(serve::trace::EventKind kind,
+                                        util::Cycles at) const {
+    serve::trace::Event e;
+    e.kind = kind;
+    e.at = at;
+    e.chip = -1;
+    return e;
+  }
+
   void stage(std::size_t idx, util::Cycles base) {
     RouteInfo& ri = routes[idx];
     serve::Request r = std::move(reqs[idx]);
@@ -106,6 +131,20 @@ struct Cluster::Impl {
       forward_hops += h;
       interconnect_cycles += delay;
       interconnect_energy_pj += pj;
+      if (cfg.trace != nullptr) {
+        serve::trace::Event e =
+            cev(serve::trace::EventKind::kForward, trace_now);
+        e.req = static_cast<std::int64_t>(idx);
+        e.app = r.app;
+        e.shard = static_cast<std::int64_t>(ri.shard);
+        e.from = static_cast<std::int64_t>(ri.addressed);
+        e.to = static_cast<std::int64_t>(ri.exec);
+        e.hops = h;
+        e.bits = bits;
+        e.cycles = delay;
+        e.energy_pj = pj;
+        cfg.trace->record(std::move(e));
+      }
     } else {
       r.arrival = base;
     }
@@ -127,6 +166,17 @@ struct Cluster::Impl {
     ri.addressed = placement.chip_for(ri.shard);
     const std::optional<StaleView>& sv = stale[ri.shard];
     if (sv && r.arrival < sv->until) ri.addressed = sv->old_chip;
+    if (cfg.trace != nullptr) {
+      serve::trace::Event e =
+          cev(serve::trace::EventKind::kClusterAdmit, trace_now);
+      e.req = static_cast<std::int64_t>(idx);
+      e.app = r.app;
+      e.ops = ri.ops;
+      e.width = ri.width;
+      e.shard = static_cast<std::int64_t>(ri.shard);
+      e.to = static_cast<std::int64_t>(ri.addressed);
+      cfg.trace->record(std::move(e));
+    }
     if (shard_locked[ri.shard]) {
       ri.held = true;
       ++held_requests;
@@ -152,6 +202,20 @@ struct Cluster::Impl {
     migration_energy_pj += route_energy_pj(cfg.interconnect, h, cfg.shard_bits);
     interconnect_energy_pj +=
         route_energy_pj(cfg.interconnect, h, cfg.shard_bits);
+    if (cfg.trace != nullptr) {
+      // Commits at one instant are processed shard-ascending; the trace
+      // records them in that order (the commit-order invariant).
+      serve::trace::Event e =
+          cev(serve::trace::EventKind::kMigrationCommit, trace_now);
+      e.shard = static_cast<std::int64_t>(m.shard);
+      e.from = static_cast<std::int64_t>(m.from);
+      e.to = static_cast<std::int64_t>(m.to);
+      e.hops = h;
+      e.bits = cfg.shard_bits;
+      e.cycles = m.latency;
+      e.energy_pj = route_energy_pj(cfg.interconnect, h, cfg.shard_bits);
+      cfg.trace->record(std::move(e));
+    }
     for (const std::size_t idx : held[m.shard]) stage(idx, m.done_at);
     held[m.shard].clear();
   }
@@ -172,6 +236,17 @@ struct Cluster::Impl {
       active.push_back(
           {d.shard, d.from, d.to, tick_at + lat, lat, d.evacuation});
       shard_locked[d.shard] = true;
+      if (cfg.trace != nullptr) {
+        serve::trace::Event e =
+            cev(serve::trace::EventKind::kMigrationStart, trace_now);
+        e.shard = static_cast<std::int64_t>(d.shard);
+        e.from = static_cast<std::int64_t>(d.from);
+        e.to = static_cast<std::int64_t>(d.to);
+        e.hops = h;
+        e.bits = cfg.shard_bits;
+        e.cycles = lat;
+        cfg.trace->record(std::move(e));
+      }
     }
   }
 
@@ -183,6 +258,10 @@ struct Cluster::Impl {
 
   // -- Run state ------------------------------------------------------------
   bool ran = false;
+  /// Global loop clock: cluster-scope trace events are stamped with it so
+  /// the cluster event stream is monotone (response legs, emitted in trace
+  /// order after the loop, are the documented exception).
+  util::Cycles trace_now = 0;
   std::vector<serve::Request> reqs;
   std::vector<RouteInfo> routes;
   std::vector<bool> shard_locked;
@@ -264,6 +343,7 @@ std::vector<ClusterResponse> Cluster::run_trace(
     }
     if (!t) break;
     const util::Cycles now = *t;
+    im.trace_now = std::max(im.trace_now, now);
 
     std::vector<Impl::ActiveMigration> due;
     for (std::size_t i = 0; i < im.active.size();) {
@@ -324,6 +404,22 @@ std::vector<ClusterResponse> Cluster::run_trace(
       im.forward_hops += h;
       im.interconnect_cycles += delay;
       im.interconnect_energy_pj += pj;
+      if (im.cfg.trace != nullptr) {
+        // Response legs are assembled after the event loop, in trace
+        // order, stamped with the edge completion they delayed — the one
+        // documented exception to cluster-stream clock monotonicity.
+        serve::trace::Event e = im.cev(
+            serve::trace::EventKind::kResponseLeg, cr.edge_completion);
+        e.req = static_cast<std::int64_t>(i);
+        e.shard = static_cast<std::int64_t>(ri.shard);
+        e.from = static_cast<std::int64_t>(ri.exec);
+        e.to = static_cast<std::int64_t>(ri.addressed);
+        e.hops = h;
+        e.bits = bits;
+        e.cycles = delay;
+        e.energy_pj = pj;
+        im.cfg.trace->record(std::move(e));
+      }
     }
     out.push_back(std::move(cr));
   }

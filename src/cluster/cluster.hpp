@@ -88,6 +88,12 @@ struct ClusterConfig {
   /// Seeds the consistent-hash ring.
   std::uint64_t seed = 2017;
 
+  /// Optional structured event stream (serve/trace.hpp), shared by the
+  /// cluster loop (chip = -1 events: routing, migrations, interconnect
+  /// legs) and every chip's server (chip = i events). nullptr disables
+  /// tracing with zero behavior change.
+  serve::trace::EventLog* trace = nullptr;
+
   /// Cluster of N full chips: per-chip serving resources from the chip
   /// model, interconnect beat width from its off-chip link.
   [[nodiscard]] static ClusterConfig from_chip(const core::ApimChip& chip,

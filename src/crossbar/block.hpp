@@ -76,6 +76,7 @@ class CrossbarBlock {
   std::size_t cols_;
   std::vector<std::uint8_t> cells_;  // One byte per cell: simple and fast.
   std::vector<std::uint32_t> cell_switches_;
+  // determinism-audited: point lookups only, never iterated.
   std::unordered_map<std::size_t, std::uint8_t> faults_;
   std::uint64_t writes_ = 0;
   std::uint64_t switches_ = 0;

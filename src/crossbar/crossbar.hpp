@@ -106,6 +106,7 @@ class BlockedCrossbar {
   std::vector<CrossbarBlock> blocks_;
   /// Per-block logical-row -> physical-spare-row table plus the next free
   /// spare index. Empty maps on the hot path cost one branch.
+  // determinism-audited: point lookups only, never iterated.
   std::vector<std::unordered_map<std::size_t, std::size_t>> row_maps_;
   std::vector<std::size_t> spares_used_;
   std::vector<Interconnect> interconnects_;

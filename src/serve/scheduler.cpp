@@ -4,7 +4,25 @@
 #include <cassert>
 #include <utility>
 
+#include "serve/trace.hpp"
+
 namespace apim::serve {
+
+void DrrScheduler::emit_credit(trace::EventKind kind, const std::string& app,
+                               std::uint64_t amount,
+                               std::uint64_t deficit_after, bool idle_reset,
+                               util::Cycles now) const {
+  if (cfg_.trace == nullptr) return;
+  trace::Event e;
+  e.kind = kind;
+  e.at = now;
+  e.chip = cfg_.trace_chip;
+  e.app = app;
+  e.amount = amount;
+  e.deficit_after = deficit_after;
+  e.idle_reset = idle_reset;
+  cfg_.trace->record(std::move(e));
+}
 
 DrrScheduler::DrrScheduler(SchedulerConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.quantum_ops == 0) cfg_.quantum_ops = 1;
@@ -86,11 +104,15 @@ DispatchPick DrrScheduler::serve(std::size_t ring_index, util::Cycles now) {
   t.queue.pop_front();
   assert(t.deficit >= batch.ops);
   t.deficit -= batch.ops;
+  bool idle_reset = false;
   if (t.queue.empty()) {
     t.deficit = 0;  // Going idle forfeits unused credit.
+    idle_reset = true;
     ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(ring_index));
     cursor_ = ring_.empty() ? 0 : ring_index % ring_.size();
   }
+  emit_credit(trace::EventKind::kCreditSpend, app, batch.ops, t.deficit,
+              idle_reset, now);
   return finish_pick(std::move(batch), app, t.weight, t.deficit, now);
 }
 
@@ -140,7 +162,10 @@ std::optional<DispatchPick> DrrScheduler::next(util::Cycles now) {
       // Nobody can afford their head: one full rotation of credit.
       for (const std::string& name : ring_) {
         Tenant& t = tenants_.at(name);
-        if (eligible(t, respect_caps)) t.deficit += quantum_for(t);
+        if (!eligible(t, respect_caps)) continue;
+        t.deficit += quantum_for(t);
+        emit_credit(trace::EventKind::kCreditGrant, name, quantum_for(t),
+                    t.deficit, false, now);
       }
     }
     assert(false && "credited past max_rotations without a pick");
@@ -148,11 +173,16 @@ std::optional<DispatchPick> DrrScheduler::next(util::Cycles now) {
   return std::nullopt;  // Unreachable: pass 1 always finds queued work.
 }
 
-void DrrScheduler::refund(const std::string& app, std::size_t ops) {
+void DrrScheduler::refund(const std::string& app, std::size_t ops,
+                          util::Cycles now) {
   if (!cfg_.fair_share || ops == 0) return;
   const auto it = tenants_.find(app);
+  // The silent-drop path (idle tenant must not hoard credit) emits no
+  // event: the ledger only records credit that actually moved.
   if (it == tenants_.end() || it->second.queue.empty()) return;
   it->second.deficit += ops;
+  emit_credit(trace::EventKind::kCreditRefund, app, ops, it->second.deficit,
+              false, now);
 }
 
 void DrrScheduler::stream_acquired(const std::string& app) {

@@ -35,6 +35,11 @@
 
 namespace apim::serve {
 
+namespace trace {
+class EventLog;
+enum class EventKind : std::uint8_t;
+}  // namespace trace
+
 struct SchedulerConfig {
   bool fair_share = true;
   std::size_t streams = 1;
@@ -44,6 +49,11 @@ struct SchedulerConfig {
   /// Per-app weights; unlisted apps get `default_weight`. Zero weights
   /// are clamped to one (every tenant always makes progress).
   std::map<std::string, std::uint32_t> weights;
+  /// Optional event sink for the DRR credit ledger (grant/spend/refund);
+  /// nullptr disables tracing with zero behavior change.
+  trace::EventLog* trace = nullptr;
+  /// Chip id stamped on emitted events (-1 outside a cluster).
+  std::int32_t trace_chip = -1;
 };
 
 /// One batch handed to a stream, with the accounting the metrics need.
@@ -71,8 +81,9 @@ class DrrScheduler {
 
   /// Return deficit for ops that were charged at pick time but never
   /// executed (deadline-expired members). Dropped when the tenant has no
-  /// queued work left — an idle tenant must not hoard credit.
-  void refund(const std::string& app, std::size_t ops);
+  /// queued work left — an idle tenant must not hoard credit. `now` only
+  /// stamps the trace event; it does not affect the ledger.
+  void refund(const std::string& app, std::size_t ops, util::Cycles now = 0);
 
   /// Stream occupancy accounting for the per-tenant share caps.
   void stream_acquired(const std::string& app);
@@ -97,6 +108,9 @@ class DrrScheduler {
   [[nodiscard]] std::size_t stream_cap(const Tenant& t) const;
   [[nodiscard]] std::uint64_t quantum_for(const Tenant& t) const noexcept;
   [[nodiscard]] DispatchPick serve(std::size_t ring_index, util::Cycles now);
+  void emit_credit(trace::EventKind kind, const std::string& app,
+                   std::uint64_t amount, std::uint64_t deficit_after,
+                   bool idle_reset, util::Cycles now) const;
   [[nodiscard]] DispatchPick finish_pick(ClosedBatch&& batch,
                                          const std::string& app,
                                          std::uint32_t weight,

@@ -17,6 +17,7 @@
 #include "serve/batcher.hpp"
 #include "serve/executor.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/trace.hpp"
 #include "util/bitops.hpp"
 #include "util/thread_pool.hpp"
 
@@ -72,6 +73,8 @@ SchedulerConfig scheduler_config(const ServerConfig& cfg) {
     s.weights[health::kScrubTenant] =
         std::max<std::uint32_t>(1, cfg.health.scrub_weight);
   }
+  s.trace = cfg.trace;
+  s.trace_chip = cfg.trace_chip;
   return s;
 }
 
@@ -133,6 +136,21 @@ class Engine {
                         const health::DomainFaultEvent& b) {
                        return a.at < b.at;
                      });
+    // First engine on a shared log fills the serve-side header (every
+    // chip of a cluster runs the same ServerConfig).
+    if (trace_ != nullptr && trace_->meta.streams == 0) {
+      trace::Meta& m = trace_->meta;
+      m.streams = cfg_.streams;
+      m.lanes = cfg_.lanes_per_stream;
+      m.queue_capacity = cfg_.queue_capacity;
+      const SchedulerConfig sc = scheduler_config(cfg_);
+      m.fair_share = sc.fair_share;
+      m.quantum_ops = std::max<std::uint64_t>(1, sc.quantum_ops);
+      m.default_weight = std::max<std::uint64_t>(1, sc.default_weight);
+      for (const auto& [app, w] : sc.weights)
+        m.weights[app] = std::max<std::uint64_t>(1, w);
+      m.health = cfg_.health.enabled;
+    }
   }
 
   std::function<void(PendingReq&)> on_finalize;
@@ -366,6 +384,39 @@ class Engine {
                                  now_, monitor_.serving_count());
   }
 
+  // -- Trace emission (all call sites guard on trace_ != nullptr) -----------
+
+  [[nodiscard]] trace::Event tev(trace::EventKind kind) const {
+    trace::Event e;
+    e.kind = kind;
+    e.at = now_;
+    e.chip = cfg_.trace_chip;
+    return e;
+  }
+
+  void emit_health_change(std::size_t d, health::DomainState before) {
+    const health::DomainState after = monitor_.state(d);
+    if (after == before) return;
+    trace::Event e = tev(trace::EventKind::kHealth);
+    e.domain = static_cast<std::int64_t>(d);
+    e.state_from = static_cast<std::uint8_t>(before);
+    e.state_to = static_cast<std::uint8_t>(after);
+    e.dead = monitor_.dead(d);
+    trace_->record(std::move(e));
+  }
+
+  void emit_scrub(std::size_t d, const health::ScrubReport& r, bool offline) {
+    trace::Event e = tev(trace::EventKind::kScrub);
+    e.domain = static_cast<std::int64_t>(d);
+    e.clean = r.clean;
+    e.offline = offline;
+    e.stuck = r.stuck_found;
+    e.repaired = r.repaired;
+    e.cycles = r.cycles;
+    e.energy_pj = r.energy_pj;
+    trace_->record(std::move(e));
+  }
+
   void finalize(PendingReq& p, RequestStatus status, util::Cycles when) {
     assert(!p.finalized);
     p.resp.id = p.id;
@@ -373,6 +424,22 @@ class Engine {
     p.resp.arrival = p.req.arrival;
     if (p.resp.completion < when) p.resp.completion = when;
     p.finalized = true;
+    if (trace_ != nullptr && status != RequestStatus::kPending) {
+      // The single terminal point of the request-conservation ledger:
+      // exactly one serve/reject/expire/invalid event per request.
+      trace::Event e = tev(status == RequestStatus::kOk ? trace::EventKind::kServe
+                           : status == RequestStatus::kRejected
+                               ? trace::EventKind::kReject
+                           : status == RequestStatus::kExpired
+                               ? trace::EventKind::kExpire
+                               : trace::EventKind::kInvalid);
+      e.at = when;
+      e.req = static_cast<std::int64_t>(p.id);
+      e.app = p.req.app;
+      e.ops = p.req.operands.size();
+      e.relax = p.relax;
+      trace_->record(std::move(e));
+    }
     switch (status) {
       case RequestStatus::kRejected: metrics_.record_rejected(); break;
       case RequestStatus::kExpired: metrics_.record_expired(); break;
@@ -394,7 +461,27 @@ class Engine {
       enqueue_closed(std::move(*closed));
   }
 
-  void enqueue_closed(ClosedBatch&& b) { sched_.enqueue(std::move(b)); }
+  /// Single entry point for batches entering the scheduler: tenant seals,
+  /// scrub passes, escalation/relocation rejoins and deferred-scrub
+  /// re-queues all pass through here, so the trace sees every seal.
+  void enqueue_closed(ClosedBatch&& b) {
+    if (trace_ != nullptr) {
+      trace::Event e = tev(trace::EventKind::kBatchSeal);
+      e.app = b.key.app;
+      e.op = static_cast<std::uint8_t>(b.key.op);
+      e.width = b.key.width;
+      e.relax = b.key.relax_bits;
+      e.policy = static_cast<std::uint8_t>(b.key.policy);
+      e.ops = b.ops;
+      e.members = b.members;
+      if (b.scrub_domain != kNotScrub) {
+        e.scrub = true;
+        e.domain = static_cast<std::int64_t>(b.scrub_domain);
+      }
+      trace_->record(std::move(e));
+    }
+    sched_.enqueue(std::move(b));
+  }
 
   void admit_due() {
     while (!arrivals_.empty() && arrivals_.top().first <= now_) {
@@ -416,6 +503,21 @@ class Engine {
         continue;
       }
       p.relax = table_.relax_for(p.req.app);
+      if (trace_ != nullptr) {
+        trace::Event e = tev(trace::EventKind::kAdmit);
+        e.req = static_cast<std::int64_t>(p.id);
+        e.app = p.req.app;
+        e.op = static_cast<std::uint8_t>(p.req.op);
+        e.width = p.req.width;
+        e.relax = p.relax;
+        e.policy = static_cast<std::uint8_t>(p.req.policy);
+        e.ops = p.req.operands.size();
+        // Depth including this request; admission checked < capacity, so a
+        // clean engine never records depth > capacity.
+        e.queue_depth = queue_depth() + 1;
+        e.capacity = enforce_capacity ? effective_capacity() : 0;
+        trace_->record(std::move(e));
+      }
       join_batcher(p);
       metrics_.record_queue_depth(queue_depth());
     }
@@ -440,9 +542,11 @@ class Engine {
           domain_faults_[e.domain] = health::whole_domain_failure(
               cfg_.lanes_per_stream, fault_table_domains());
           if (health_on()) {
+            const health::DomainState before = monitor_.state(e.domain);
             monitor_.mark_dead(e.domain);
             const bool was_serving = monitor_.serving(e.domain);
             monitor_.quarantine(e.domain);
+            if (trace_ != nullptr) emit_health_change(e.domain, before);
             if (was_serving) on_quarantined(e.domain);
             note_domain(e.domain);
           }
@@ -464,6 +568,14 @@ class Engine {
       inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
       busy_[d] = false;
       sched_.stream_released(aborted.app);
+      if (trace_ != nullptr) {
+        trace::Event e = tev(trace::EventKind::kAbort);
+        e.domain = static_cast<std::int64_t>(d);
+        e.app = aborted.app;
+        e.scrub = aborted.scrub;
+        e.members = aborted.members;
+        trace_->record(std::move(e));
+      }
       if (aborted.scrub) {
         scrub_queued_[d] = false;
         continue;
@@ -491,6 +603,13 @@ class Engine {
       ++moved;
       moved_ops += p.req.operands.size();
       p.resp.values.clear();  // Unverified results are withheld.
+      if (trace_ != nullptr) {
+        trace::Event e = tev(trace::EventKind::kRelocate);
+        e.req = static_cast<std::int64_t>(id);
+        e.app = p.req.app;
+        e.ops = p.req.operands.size();
+        trace_->record(std::move(e));
+      }
       join_batcher(p);
     }
     if (moved > 0) metrics_.record_relocation(moved, moved_ops);
@@ -507,7 +626,12 @@ class Engine {
       health::ScrubReport r = health::scrub_domain(
           domain_faults_[d], monitor_.dead(d), cfg_.lanes_per_stream,
           cfg_.health, cfg_.device.energy);
+      const health::DomainState before = monitor_.state(d);
       monitor_.on_scrub(d, r);
+      if (trace_ != nullptr) {
+        emit_scrub(d, r, /*offline=*/true);
+        emit_health_change(d, before);
+      }
       metrics_.record_scrub(d, r);
       note_domain(d);
       if (monitor_.state(d) == health::DomainState::kQuarantined &&
@@ -612,6 +736,14 @@ class Engine {
         domain_faults_[d], monitor_.dead(d), cfg_.lanes_per_stream,
         cfg_.health, cfg_.device.energy);
     const util::Cycles busy = cfg_.dispatch_cycles + r.cycles;
+    if (trace_ != nullptr) {
+      trace::Event e = tev(trace::EventKind::kDispatch);
+      e.app = health::kScrubTenant;
+      e.domain = static_cast<std::int64_t>(d);
+      e.scrub = true;
+      e.ops = cfg_.batch_op_budget();
+      trace_->record(std::move(e));
+    }
     busy_[d] = true;
     sched_.stream_acquired(health::kScrubTenant);
     InFlight f;
@@ -644,7 +776,7 @@ class Engine {
         live.push_back(id);
       }
     }
-    if (expired_ops > 0) sched_.refund(pick.app, expired_ops);
+    if (expired_ops > 0) sched_.refund(pick.app, expired_ops, now_);
     if (live.empty()) return;  // Nothing to run; stream stays free.
 
     std::vector<std::span<const std::pair<std::uint64_t, std::uint64_t>>>
@@ -692,6 +824,18 @@ class Engine {
       p.resp.energy_pj +=
           energy_per_op * static_cast<double>(p.req.operands.size());
     }
+    if (trace_ != nullptr) {
+      trace::Event e = tev(trace::EventKind::kDispatch);
+      e.app = pick.app;
+      e.domain = static_cast<std::int64_t>(d);
+      e.op = static_cast<std::uint8_t>(batch.key.op);
+      e.width = batch.key.width;
+      e.relax = batch.key.relax_bits;
+      e.policy = static_cast<std::uint8_t>(batch.key.policy);
+      e.ops = total_ops;
+      e.members = live;
+      trace_->record(std::move(e));
+    }
     busy_[d] = true;
     sched_.stream_acquired(pick.app);
     InFlight f;
@@ -726,10 +870,25 @@ class Engine {
                       static_cast<std::ptrdiff_t>(best));
       busy_[done.domain] = false;
       sched_.stream_released(done.app);
+      if (trace_ != nullptr) {
+        trace::Event e = tev(trace::EventKind::kComplete);
+        e.domain = static_cast<std::int64_t>(done.domain);
+        e.app = done.app;
+        e.scrub = done.scrub;
+        e.detections = done.detections;
+        e.escalations = done.escalations;
+        if (!done.scrub) e.members = done.members;
+        trace_->record(std::move(e));
+      }
 
       if (done.scrub) {
         scrub_queued_[done.domain] = false;
+        const health::DomainState before = monitor_.state(done.domain);
         monitor_.on_scrub(done.domain, done.scrub_report);
+        if (trace_ != nullptr) {
+          emit_scrub(done.domain, done.scrub_report, /*offline=*/false);
+          emit_health_change(done.domain, before);
+        }
         metrics_.record_scrub(done.domain, done.scrub_report);
         // A dirty pass on a serving domain quarantines it on the spot.
         if (monitor_.state(done.domain) ==
@@ -744,7 +903,9 @@ class Engine {
         metrics_.record_domain_dispatch(done.domain, done.detections,
                                         done.escalations);
         const bool was_serving = monitor_.serving(done.domain);
+        const health::DomainState before = monitor_.state(done.domain);
         monitor_.on_dispatch(done.domain, done.detections, done.escalations);
+        if (trace_ != nullptr) emit_health_change(done.domain, before);
         if (was_serving && !monitor_.serving(done.domain))
           on_quarantined(done.domain);
         note_domain(done.domain);
@@ -775,6 +936,14 @@ class Engine {
           metrics_.record_escalation();
           table_.escalate(p.req.app);
           p.relax = 0;
+          if (trace_ != nullptr) {
+            trace::Event e = tev(trace::EventKind::kQosEscalate);
+            e.req = static_cast<std::int64_t>(p.id);
+            e.app = p.req.app;
+            e.relax = p.relax;
+            e.ops = p.req.operands.size();
+            trace_->record(std::move(e));
+          }
           join_batcher(p);
           metrics_.record_queue_depth(queue_depth());
         } else {
@@ -793,6 +962,9 @@ class Engine {
   DrrScheduler sched_;
   std::vector<bool> busy_;  ///< Per stream/domain: dispatch in flight.
   util::Cycles now_ = 0;
+  /// Optional structured event sink; nullptr = tracing off (no events are
+  /// constructed, so untraced runs are bit-identical to pre-trace builds).
+  trace::EventLog* const trace_ = cfg_.trace;
 
   // -- Fault-domain state ---------------------------------------------------
   /// Domains carry per-stream fault tables (health on OR a schedule set).

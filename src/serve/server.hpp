@@ -46,6 +46,10 @@
 
 namespace apim::serve {
 
+namespace trace {
+class EventLog;
+}  // namespace trace
+
 enum class AdmissionPolicy : std::uint8_t {
   kReject,  ///< Queue at capacity: fail fast with kRejected.
   kBlock,   ///< Queue at capacity: delay admission until space frees.
@@ -109,6 +113,16 @@ struct ServerConfig {
   /// Disabled by default; `health.fault_schedule` fires even when the
   /// layer is disabled so the chaos bench can A/B identical injections.
   health::HealthConfig health{};
+
+  /// Optional structured event stream (serve/trace.hpp) consumed by the
+  /// runtime trace verifier (analysis::check_serving_trace). nullptr (the
+  /// default) emits nothing and leaves every run bit-identical to an
+  /// untraced one. Attach only to the deterministic virtual-time entry
+  /// points; the log is not synchronized for the live async mode.
+  trace::EventLog* trace = nullptr;
+  /// Chip id stamped on emitted events (set by cluster::Cluster; -1 for a
+  /// standalone server).
+  std::int32_t trace_chip = -1;
 
   [[nodiscard]] std::size_t total_lanes() const noexcept {
     return streams * lanes_per_stream;

@@ -1,0 +1,306 @@
+#include "serve/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+namespace apim::serve::trace {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kAdmit, "admit"},
+    {EventKind::kBatchSeal, "batch-seal"},
+    {EventKind::kDispatch, "dispatch"},
+    {EventKind::kComplete, "complete"},
+    {EventKind::kAbort, "abort"},
+    {EventKind::kServe, "serve"},
+    {EventKind::kReject, "reject"},
+    {EventKind::kExpire, "expire"},
+    {EventKind::kInvalid, "invalid"},
+    {EventKind::kCreditGrant, "credit-grant"},
+    {EventKind::kCreditSpend, "credit-spend"},
+    {EventKind::kCreditRefund, "credit-refund"},
+    {EventKind::kQosEscalate, "qos-escalate"},
+    {EventKind::kRelocate, "relocate"},
+    {EventKind::kHealth, "health"},
+    {EventKind::kScrub, "scrub"},
+    {EventKind::kClusterAdmit, "cluster-admit"},
+    {EventKind::kForward, "forward"},
+    {EventKind::kResponseLeg, "response-leg"},
+    {EventKind::kMigrationStart, "migration-start"},
+    {EventKind::kMigrationCommit, "migration-commit"},
+};
+
+/// %.17g round-trips every finite IEEE-754 double exactly.
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void put_u64(std::ostringstream& os, const char* key, std::uint64_t value) {
+  if (value != 0) os << ' ' << key << '=' << value;
+}
+
+void put_i64(std::ostringstream& os, const char* key, std::int64_t value) {
+  if (value != -1) os << ' ' << key << '=' << value;
+}
+
+void put_flag(std::ostringstream& os, const char* key, bool value) {
+  if (value) os << ' ' << key << "=1";
+}
+
+struct Token {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Split "k=v" tokens off a whitespace-separated record body.
+bool next_token(std::string_view& rest, Token* out) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.empty()) return false;
+  const std::size_t end = rest.find(' ');
+  const std::string_view tok =
+      end == std::string_view::npos ? rest : rest.substr(0, end);
+  rest.remove_prefix(tok.size());
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string_view::npos) {
+    out->key = tok;
+    out->value = {};
+  } else {
+    out->key = tok.substr(0, eq);
+    out->value = tok.substr(eq + 1);
+  }
+  return true;
+}
+
+std::uint64_t parse_u64(std::string_view v) {
+  return std::strtoull(std::string(v).c_str(), nullptr, 10);
+}
+
+std::int64_t parse_i64(std::string_view v) {
+  return std::strtoll(std::string(v).c_str(), nullptr, 10);
+}
+
+double parse_double(std::string_view v) {
+  return std::strtod(std::string(v).c_str(), nullptr);
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  for (const KindName& k : kKindNames)
+    if (k.kind == kind) return k.name;
+  return "unknown";
+}
+
+bool kind_from_string(const std::string& name, EventKind* out) {
+  for (const KindName& k : kKindNames) {
+    if (name == k.name) {
+      *out = k.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string EventLog::serialize() const {
+  std::ostringstream os;
+  os << "apim-trace v1\n";
+  os << "meta streams=" << meta.streams << " lanes=" << meta.lanes
+     << " queue_capacity=" << meta.queue_capacity
+     << " fair_share=" << (meta.fair_share ? 1 : 0)
+     << " quantum=" << meta.quantum_ops
+     << " default_weight=" << meta.default_weight
+     << " health=" << (meta.health ? 1 : 0) << " chips=" << meta.chips
+     << " shards=" << meta.shards
+     << " topology=" << static_cast<unsigned>(meta.topology)
+     << " hop_latency=" << meta.hop_latency_cycles
+     << " link_bits=" << meta.link_bits
+     << " pj_per_bit_hop=" << format_double(meta.pj_per_bit_hop)
+     << " shard_bits=" << meta.shard_bits
+     << " overflowed=" << (overflowed_ ? 1 : 0) << '\n';
+  for (const auto& [app, weight] : meta.weights)
+    os << "weight app=" << app << " w=" << weight << '\n';
+  for (const Event& e : events_) {
+    os << "event k=" << to_string(e.kind) << " t=" << e.at;
+    put_i64(os, "chip", e.chip);
+    put_i64(os, "req", e.req);
+    if (!e.app.empty()) os << " app=" << e.app;
+    put_i64(os, "domain", e.domain);
+    put_u64(os, "op", e.op);
+    put_u64(os, "width", e.width);
+    put_u64(os, "relax", e.relax);
+    put_u64(os, "policy", e.policy);
+    put_u64(os, "ops", e.ops);
+    if (!e.members.empty()) {
+      os << " members=";
+      for (std::size_t i = 0; i < e.members.size(); ++i) {
+        if (i != 0) os << ',';
+        os << e.members[i];
+      }
+    }
+    put_u64(os, "amount", e.amount);
+    put_u64(os, "deficit", e.deficit_after);
+    put_flag(os, "idle", e.idle_reset);
+    put_u64(os, "depth", e.queue_depth);
+    put_u64(os, "cap", e.capacity);
+    put_u64(os, "state_from", e.state_from);
+    put_u64(os, "state_to", e.state_to);
+    put_flag(os, "dead", e.dead);
+    put_flag(os, "clean", e.clean);
+    put_flag(os, "offline", e.offline);
+    put_u64(os, "stuck", e.stuck);
+    put_u64(os, "repaired", e.repaired);
+    put_u64(os, "det", e.detections);
+    put_u64(os, "esc", e.escalations);
+    put_flag(os, "scrub", e.scrub);
+    put_i64(os, "from", e.from);
+    put_i64(os, "to", e.to);
+    put_u64(os, "hops", e.hops);
+    put_u64(os, "bits", e.bits);
+    put_u64(os, "cycles", e.cycles);
+    if (e.energy_pj != 0.0) os << " pj=" << format_double(e.energy_pj);
+    put_i64(os, "shard", e.shard);
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool EventLog::parse(const std::string& text, EventLog* out,
+                     std::string* error) {
+  out->clear();
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  };
+  if (!std::getline(is, line)) return fail("empty document");
+  ++line_no;
+  if (line != "apim-trace v1") return fail("bad header (want 'apim-trace v1')");
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view rest = line;
+    Token tok;
+    if (!next_token(rest, &tok)) continue;
+    if (tok.key == "meta") {
+      Meta& m = out->meta;
+      while (next_token(rest, &tok)) {
+        if (tok.key == "streams") m.streams = parse_u64(tok.value);
+        else if (tok.key == "lanes") m.lanes = parse_u64(tok.value);
+        else if (tok.key == "queue_capacity")
+          m.queue_capacity = parse_u64(tok.value);
+        else if (tok.key == "fair_share")
+          m.fair_share = parse_u64(tok.value) != 0;
+        else if (tok.key == "quantum") m.quantum_ops = parse_u64(tok.value);
+        else if (tok.key == "default_weight")
+          m.default_weight = parse_u64(tok.value);
+        else if (tok.key == "health") m.health = parse_u64(tok.value) != 0;
+        else if (tok.key == "chips") m.chips = parse_u64(tok.value);
+        else if (tok.key == "shards") m.shards = parse_u64(tok.value);
+        else if (tok.key == "topology")
+          m.topology = static_cast<std::uint8_t>(parse_u64(tok.value));
+        else if (tok.key == "hop_latency")
+          m.hop_latency_cycles = parse_u64(tok.value);
+        else if (tok.key == "link_bits") m.link_bits = parse_u64(tok.value);
+        else if (tok.key == "pj_per_bit_hop")
+          m.pj_per_bit_hop = parse_double(tok.value);
+        else if (tok.key == "shard_bits") m.shard_bits = parse_u64(tok.value);
+        else if (tok.key == "overflowed")
+          out->overflowed_ = parse_u64(tok.value) != 0;
+        else
+          return fail("unknown meta key '" + std::string(tok.key) + "'");
+      }
+    } else if (tok.key == "weight") {
+      std::string app;
+      std::uint64_t w = 0;
+      while (next_token(rest, &tok)) {
+        if (tok.key == "app") app = std::string(tok.value);
+        else if (tok.key == "w") w = parse_u64(tok.value);
+        else
+          return fail("unknown weight key '" + std::string(tok.key) + "'");
+      }
+      if (app.empty()) return fail("weight record without app");
+      out->meta.weights[app] = w;
+    } else if (tok.key == "event") {
+      Event e;
+      bool have_kind = false;
+      while (next_token(rest, &tok)) {
+        if (tok.key == "k") {
+          if (!kind_from_string(std::string(tok.value), &e.kind))
+            return fail("unknown event kind '" + std::string(tok.value) + "'");
+          have_kind = true;
+        } else if (tok.key == "t") e.at = parse_u64(tok.value);
+        else if (tok.key == "chip")
+          e.chip = static_cast<std::int32_t>(parse_i64(tok.value));
+        else if (tok.key == "req") e.req = parse_i64(tok.value);
+        else if (tok.key == "app") e.app = std::string(tok.value);
+        else if (tok.key == "domain") e.domain = parse_i64(tok.value);
+        else if (tok.key == "op")
+          e.op = static_cast<std::uint8_t>(parse_u64(tok.value));
+        else if (tok.key == "width")
+          e.width = static_cast<unsigned>(parse_u64(tok.value));
+        else if (tok.key == "relax")
+          e.relax = static_cast<unsigned>(parse_u64(tok.value));
+        else if (tok.key == "policy")
+          e.policy = static_cast<std::uint8_t>(parse_u64(tok.value));
+        else if (tok.key == "ops") e.ops = parse_u64(tok.value);
+        else if (tok.key == "members") {
+          std::string_view v = tok.value;
+          while (!v.empty()) {
+            const std::size_t comma = v.find(',');
+            const std::string_view item =
+                comma == std::string_view::npos ? v : v.substr(0, comma);
+            e.members.push_back(parse_u64(item));
+            v.remove_prefix(comma == std::string_view::npos ? v.size()
+                                                            : comma + 1);
+          }
+        } else if (tok.key == "amount") e.amount = parse_u64(tok.value);
+        else if (tok.key == "deficit") e.deficit_after = parse_u64(tok.value);
+        else if (tok.key == "idle") e.idle_reset = parse_u64(tok.value) != 0;
+        else if (tok.key == "depth") e.queue_depth = parse_u64(tok.value);
+        else if (tok.key == "cap") e.capacity = parse_u64(tok.value);
+        else if (tok.key == "state_from")
+          e.state_from = static_cast<std::uint8_t>(parse_u64(tok.value));
+        else if (tok.key == "state_to")
+          e.state_to = static_cast<std::uint8_t>(parse_u64(tok.value));
+        else if (tok.key == "dead") e.dead = parse_u64(tok.value) != 0;
+        else if (tok.key == "clean") e.clean = parse_u64(tok.value) != 0;
+        else if (tok.key == "offline") e.offline = parse_u64(tok.value) != 0;
+        else if (tok.key == "stuck") e.stuck = parse_u64(tok.value);
+        else if (tok.key == "repaired") e.repaired = parse_u64(tok.value);
+        else if (tok.key == "det") e.detections = parse_u64(tok.value);
+        else if (tok.key == "esc") e.escalations = parse_u64(tok.value);
+        else if (tok.key == "scrub") e.scrub = parse_u64(tok.value) != 0;
+        else if (tok.key == "from") e.from = parse_i64(tok.value);
+        else if (tok.key == "to") e.to = parse_i64(tok.value);
+        else if (tok.key == "hops") e.hops = parse_u64(tok.value);
+        else if (tok.key == "bits") e.bits = parse_u64(tok.value);
+        else if (tok.key == "cycles") e.cycles = parse_u64(tok.value);
+        else if (tok.key == "pj") e.energy_pj = parse_double(tok.value);
+        else if (tok.key == "shard") e.shard = parse_i64(tok.value);
+        else
+          return fail("unknown event key '" + std::string(tok.key) + "'");
+      }
+      if (!have_kind) return fail("event record without kind");
+      out->events_.push_back(std::move(e));
+    } else {
+      return fail("unknown record '" + std::string(tok.key) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace apim::serve::trace

@@ -9,8 +9,10 @@
 
 #include "analysis/schedule_check.hpp"
 #include "arith/approx.hpp"
+#include "arith/compare_units.hpp"
 #include "arith/inmemory_units.hpp"
 #include "arith/latency_model.hpp"
+#include "arith/tree_plan.hpp"
 #include "crossbar/scratch_allocator.hpp"
 #include "device/energy_model.hpp"
 #include "magic/trace.hpp"
@@ -122,6 +124,63 @@ TEST_P(ArithScheduleCheck, ExactMultiplyVerifiesCleanAtModelCycles) {
   EXPECT_TRUE(cycles.empty()) << cycles.format();
 }
 
+/// Geometry of inmemory_compare: operands a, b in rows 0-1 of block 1,
+/// the inverted subtrahend image in row 2, serial-add scratch rows 3-14
+/// and the grounded '0' reference cell at row 15.
+ScheduleCheckOptions compare_options() {
+  ScheduleCheckOptions opts;
+  opts.preloaded.push_back(RowRange{1, 0, 2});
+  opts.preloaded.push_back(RowRange{1, 15, 16});
+  opts.scratch.push_back(RowRange{1, 2, 15});
+  opts.rows_per_block = 16;
+  return opts;
+}
+
+TEST_P(ArithScheduleCheck, CompareVerifiesCleanAtModelCycles) {
+  const unsigned n = GetParam();
+  Tracer tracer;
+  tracer.enable_cell_events(true);
+  const arith::InMemoryResult r = arith::inmemory_compare(
+      0x5A5A5A5Aull & util::low_mask(n), 0x3C3C3C3Cull & util::low_mask(n), n,
+      em(), &tracer);
+  EXPECT_EQ(r.cycles, arith::compare_cycles(n));  // 12n + 3.
+
+  const Report schedule = analysis::check_schedule(tracer, compare_options());
+  EXPECT_TRUE(schedule.empty()) << schedule.format();
+  const Report cycles = analysis::check_cycle_claim(
+      tracer, arith::compare_cycles(n), "three-way compare");
+  EXPECT_TRUE(cycles.empty()) << cycles.format();
+}
+
+TEST_P(ArithScheduleCheck, PopcountVerifiesCleanAtPlannedCycles) {
+  const unsigned n = GetParam();
+  const std::uint64_t x = 0x6DB6DB6Dull & util::low_mask(n);
+  Tracer tracer;
+  tracer.enable_cell_events(true);
+  const arith::InMemoryResult r = arith::inmemory_popcount(x, n, em(),
+                                                           &tracer);
+  EXPECT_EQ(r.value, static_cast<std::uint64_t>(util::popcount(x)));
+
+  // The claim is the width-capped tree law: 13 per 3:2 stage over the n
+  // 1-bit operands plus the final serial add at the planner's surviving
+  // width (bounded by popcount_width_cap, never the naive n + stages).
+  const std::vector<unsigned> widths(n, 1u);
+  const arith::TreePlan plan = arith::plan_tree_reduction(
+      widths, arith::popcount_width_cap(n), /*block_a=*/1, /*block_b=*/2);
+  const unsigned n_final =
+      std::max(plan.operands[plan.final_ids[0]].width,
+               plan.operands[plan.final_ids[1]].width);
+  const util::Cycles claimed = arith::tree_add_cycles(n, 1, n_final);
+  EXPECT_EQ(r.cycles, claimed);
+
+  const Report schedule =
+      analysis::check_schedule(tracer, plan_dependent_options());
+  EXPECT_TRUE(schedule.empty()) << schedule.format();
+  const Report cycles =
+      analysis::check_cycle_claim(tracer, claimed, "popcount");
+  EXPECT_TRUE(cycles.empty()) << cycles.format();
+}
+
 INSTANTIATE_TEST_SUITE_P(Widths, ArithScheduleCheck,
                          ::testing::Values(4u, 8u, 16u, 32u));
 
@@ -196,6 +255,42 @@ TEST(ScheduleCheck, PerturbedLatencyConstantFailsTheClaim) {
                                           arith::serial_add_cycles(n),
                                           "serial add")
                   .empty());
+}
+
+TEST(ScheduleCheck, PerturbedCompareConstantFailsTheClaim) {
+  const unsigned n = 8;
+  Tracer tracer;
+  tracer.enable_cell_events(true);
+  (void)arith::inmemory_compare(0xAB, 0xCD, n, em(), &tracer);
+
+  // As if the complement pass (+2) were dropped from compare_cycles, and
+  // as if the serial-add coefficient drifted (12n -> 13n).
+  const Report dropped_pass = analysis::check_cycle_claim(
+      tracer, arith::compare_cycles(n) - 2, "perturbed compare");
+  EXPECT_TRUE(has_rule(dropped_pass, "cycle-model-drift"))
+      << dropped_pass.format();
+  const Report coefficient = analysis::check_cycle_claim(
+      tracer, 13ull * n + 3, "perturbed compare");
+  EXPECT_TRUE(has_rule(coefficient, "cycle-model-drift"))
+      << coefficient.format();
+  EXPECT_TRUE(analysis::check_cycle_claim(tracer, arith::compare_cycles(n),
+                                          "three-way compare")
+                  .empty());
+}
+
+TEST(ScheduleCheck, UncappedPopcountWidthFailsTheClaim) {
+  const unsigned n = 8;
+  Tracer tracer;
+  tracer.enable_cell_events(true);
+  (void)arith::inmemory_popcount(0xB7, n, em(), &tracer);
+
+  // The naive final width n_ops + stages ignores popcount_width_cap; the
+  // resulting over-wide serial add claim must register as drift.
+  const util::Cycles uncapped = arith::tree_add_cycles(
+      n, 1, arith::popcount_width_cap(n) + 1);
+  const Report report =
+      analysis::check_cycle_claim(tracer, uncapped, "uncapped popcount");
+  EXPECT_TRUE(has_rule(report, "cycle-model-drift")) << report.format();
 }
 
 // -- Synthesized rule violations (events forged directly on a Tracer). ------

@@ -1,0 +1,121 @@
+// apim_trace_lint: runtime trace verifier for serve/cluster event logs.
+//
+// Parses `apim-trace v1` files (serve/trace.hpp serialization, written by
+// the ext_serving/ext_chaos/ext_cluster benches via --trace) and replays
+// each one against the serving and cluster engine invariants
+// (analysis/trace_check.hpp): clock monotonicity, request conservation
+// and causality, DRR credit conservation and weighted-share bounds,
+// health-FSM legality, batch homogeneity, admission bounds, interconnect
+// charge recomputation and migration commit order.
+//
+//   apim_trace_lint run.trace              # verify one log
+//   apim_trace_lint --json a.trace b.trace # machine-readable reports
+//   apim_trace_lint --werror run.trace     # warnings also fail the run
+//
+// Exit status: 0 clean (warnings allowed unless --werror), 1 when any
+// error-severity diagnostic was produced (or a file failed to parse),
+// 2 on bad invocation.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_check.hpp"
+#include "serve/trace.hpp"
+
+namespace {
+
+using namespace apim;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--json] [--werror] FILE.trace...\n\n"
+      "Replays serve/cluster event logs (apim-trace v1) against the\n"
+      "engines' runtime invariants.\n"
+      "  --json    emit one JSON report object per file\n"
+      "  --werror  exit nonzero on warnings too\n",
+      argv0);
+}
+
+int fail_usage(const char* fmt, const char* detail) {
+  std::fprintf(stderr, "apim_trace_lint: error: ");
+  std::fprintf(stderr, fmt, detail);
+  std::fprintf(stderr, " (see --help)\n");
+  return 2;
+}
+
+/// Verify one file; an unreadable or malformed log becomes a single
+/// error diagnostic so broken and buggy traces gate CI the same way.
+analysis::Report check_file(const std::string& path) {
+  analysis::Report report;
+  std::ifstream in(path);
+  if (!in) {
+    report.add({analysis::Severity::kError, "io", 0, -1,
+                "cannot open '" + path + "'", ""});
+    return report;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  serve::trace::EventLog log;
+  std::string error;
+  if (!serve::trace::EventLog::parse(buffer.str(), &log, &error)) {
+    report.add({analysis::Severity::kError, "parse", 0, -1, error,
+                "regenerate the trace; hand-edited logs must round-trip "
+                "through the apim-trace v1 grammar"});
+    return report;
+  }
+  return analysis::check_serving_trace(log);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return fail_usage("unknown option '%s'", arg.c_str());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return fail_usage("no input files%s", "");
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  bool first = true;
+  if (json) std::printf("[");
+  for (const std::string& path : files) {
+    const analysis::Report report = check_file(path);
+    errors += report.count(analysis::Severity::kError);
+    warnings += report.count(analysis::Severity::kWarning);
+    if (json) {
+      std::printf("%s{\"file\":\"%s\",\"report\":%s}", first ? "" : ",",
+                  path.c_str(), report.to_json().c_str());
+    } else if (!report.empty()) {
+      // Prefix each diagnostic line with the file, compiler style.
+      std::istringstream lines(report.format());
+      std::string line;
+      while (std::getline(lines, line))
+        std::printf("%s:%s\n", path.c_str(), line.c_str());
+    }
+    first = false;
+  }
+  if (json) std::printf("]\n");
+  if (!json)
+    std::printf("apim_trace_lint: %zu file(s), %zu error(s), %zu warning(s)\n",
+                files.size(), errors, warnings);
+  if (errors > 0) return 1;
+  return werror && warnings > 0 ? 1 : 0;
+}
